@@ -1,0 +1,91 @@
+//! SMT lookup microbenchmarks + the linear/binary crossover ablation.
+//!
+//! The paper fixes the strategy switch at 64 entries (§IV-D: "lookup of
+//! an entry uses linear search when the number of allocations is less
+//! than 64, and binary search otherwise"). This bench sweeps table sizes
+//! under both strategies so the crossover can be read off directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hetsim::AllocKind;
+use xplacer_core::Smt;
+
+fn build(n: usize, threshold: usize) -> (Smt, Vec<u64>) {
+    let mut smt = Smt::new();
+    smt.linear_threshold = threshold;
+    let mut probes = Vec::new();
+    for i in 0..n {
+        let base = 0x10_0000 + (i as u64) * 0x2000;
+        smt.insert(base, 4096, AllocKind::Managed);
+        probes.push(base + (i as u64 * 97) % 4096);
+    }
+    (smt, probes)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smt_lookup");
+    for &n in &[4usize, 16, 50, 64, 128, 512] {
+        // Forced linear.
+        let (smt, probes) = build(n, usize::MAX);
+        g.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                black_box(smt.lookup(black_box(probes[i])))
+            });
+        });
+        // Forced binary.
+        let (smt, probes) = build(n, 0);
+        g.bench_with_input(BenchmarkId::new("binary", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                black_box(smt.lookup(black_box(probes[i])))
+            });
+        });
+        // Paper policy (64-entry switch).
+        let (smt, probes) = build(n, 64);
+        g.bench_with_input(BenchmarkId::new("paper_policy", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                black_box(smt.lookup(black_box(probes[i])))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming_hit(c: &mut Criterion) {
+    // The common case: consecutive accesses to the same allocation (the
+    // last-hit cache path).
+    let mut smt = Smt::new();
+    for i in 0..100u64 {
+        smt.insert(0x10_0000 + i * 0x2000, 4096, AllocKind::Managed);
+    }
+    let base = 0x10_0000 + 50 * 0x2000;
+    c.bench_function("smt_lookup/streaming_same_alloc", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + 4) % 4096;
+            black_box(smt.lookup_mut(black_box(base + off)).is_some())
+        });
+    });
+}
+
+fn bench_insert(c: &mut Criterion) {
+    // O(N) sorted insertion, as the paper describes for allocation.
+    c.bench_function("smt_insert/100_allocations", |b| {
+        b.iter(|| {
+            let mut smt = Smt::new();
+            for i in 0..100u64 {
+                smt.insert(0x10_0000 + i * 0x2000, 4096, AllocKind::Managed);
+            }
+            black_box(smt.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_streaming_hit, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Unified-memory driver microbenchmarks: the fast (resident) path, the
+//! fault/migration path, read-duplication, and a page-size ablation —
+//! the knobs behind the paper's platform differences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hetsim::{platform, Machine, MemAdvise, Platform};
+
+fn bench_access_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("um_paths");
+
+    // Resident fast path.
+    let mut m = Machine::new(platform::intel_pascal());
+    let p = m.alloc_managed::<f64>(4096);
+    m.st(p, 0, 1.0); // CPU-resident now
+    g.bench_function("resident_host_access", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(m.ld(p, i))
+        });
+    });
+
+    // Ping-pong path: every iteration faults (GPU write then CPU read of
+    // the same page).
+    let mut m = Machine::new(platform::intel_pascal());
+    let p = m.alloc_managed::<f64>(8);
+    g.bench_function("ping_pong_fault_pair", |b| {
+        b.iter(|| {
+            m.launch("w", 1, |_, m| m.st(p, 0, 2.0));
+            black_box(m.ld(p, 0))
+        });
+    });
+
+    // Read-mostly steady state: both sides hit their duplicated copies.
+    let mut m = Machine::new(platform::intel_pascal());
+    let p = m.alloc_managed::<f64>(8);
+    m.mem_advise(p, MemAdvise::SetReadMostly);
+    m.st(p, 0, 1.0);
+    m.launch("warm", 1, |_, m| {
+        let _ = m.ld(p, 0);
+    });
+    g.bench_function("read_mostly_dual_read", |b| {
+        b.iter(|| {
+            m.launch("r", 1, |_, m| {
+                let _ = m.ld(p, 0);
+            });
+            black_box(m.ld(p, 0))
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_page_size_ablation(c: &mut Criterion) {
+    // Smaller pages mean more faults for streaming access but less
+    // false-sharing-like bouncing — the trade-off behind the paper's
+    // object-splitting remedy.
+    let mut g = c.benchmark_group("page_size_ablation");
+    g.sample_size(20);
+    for &page_kb in &[4u64, 16, 64, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("stream_then_pingpong", page_kb),
+            &page_kb,
+            |b, &page_kb| {
+                b.iter(|| {
+                    let mut pf: Platform = platform::intel_pascal();
+                    pf.page_size = page_kb * 1024;
+                    let mut m = Machine::new(pf);
+                    let data = m.alloc_managed::<f64>(64 * 1024);
+                    for i in (0..64 * 1024).step_by(64) {
+                        m.st(data, i, 1.0);
+                    }
+                    m.launch("stream", 1024, |t, m| {
+                        let _ = m.ld(data, t * 64);
+                    });
+                    black_box(m.elapsed_ns())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fault_latency_sweep(c: &mut Criterion) {
+    // Where does ReadMostly flip from a win to a loss? Interpolate the
+    // fault cost between NVLink-like and PCIe-like values and measure
+    // the alternating pattern under both policies.
+    let mut g = c.benchmark_group("fault_latency_sweep");
+    g.sample_size(20);
+    for &fault_us in &[2u64, 6, 12, 25, 50] {
+        g.bench_with_input(
+            BenchmarkId::new("alternating_readmostly", fault_us),
+            &fault_us,
+            |b, &fault_us| {
+                b.iter(|| {
+                    let mut pf = platform::intel_pascal();
+                    pf.fault_ns = fault_us as f64 * 1000.0;
+                    let mut m = Machine::new(pf);
+                    let p = m.alloc_managed::<f64>(8);
+                    m.mem_advise(p, MemAdvise::SetReadMostly);
+                    for _ in 0..20 {
+                        m.st(p, 0, 1.0);
+                        m.launch("r", 1, |_, m| {
+                            let _ = m.ld(p, 0);
+                        });
+                    }
+                    black_box(m.elapsed_ns())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_access_paths,
+    bench_page_size_ablation,
+    bench_fault_latency_sweep
+);
+criterion_main!(benches);

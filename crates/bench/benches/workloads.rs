@@ -1,0 +1,129 @@
+//! Whole-workload benchmarks: simulator throughput on the paper's
+//! applications (host wall-clock of the reproduction itself, the quantity
+//! Table III's overhead factors are made of).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hetsim::{platform, Machine};
+use xplacer_core::attach_tracer;
+use xplacer_workloads::lulesh::{run_lulesh, LuleshConfig, LuleshVariant};
+use xplacer_workloads::rodinia::pathfinder::{
+    run_pathfinder, PathfinderConfig, PathfinderVariant,
+};
+use xplacer_workloads::smith_waterman::{run_sw, SwConfig, SwVariant};
+
+fn bench_lulesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lulesh");
+    g.sample_size(10);
+    for traced in [false, true] {
+        let label = if traced { "traced" } else { "plain" };
+        g.bench_with_input(BenchmarkId::new(label, "size8x3"), &traced, |b, &traced| {
+            b.iter(|| {
+                let mut m = Machine::new(platform::intel_pascal());
+                if traced {
+                    let _t = attach_tracer(&mut m);
+                    black_box(run_lulesh(
+                        &mut m,
+                        LuleshConfig::new(8, 3),
+                        LuleshVariant::Baseline,
+                    ))
+                } else {
+                    black_box(run_lulesh(
+                        &mut m,
+                        LuleshConfig::new(8, 3),
+                        LuleshVariant::Baseline,
+                    ))
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_smith_waterman(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smith_waterman");
+    g.sample_size(10);
+    for variant in [SwVariant::Baseline, SwVariant::Rotated] {
+        g.bench_with_input(
+            BenchmarkId::new(variant.label(), "256x256"),
+            &variant,
+            |b, &v| {
+                b.iter(|| {
+                    let mut m = Machine::new(platform::intel_pascal());
+                    black_box(run_sw(&mut m, SwConfig::square(256), v))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pathfinder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pathfinder");
+    g.sample_size(10);
+    for variant in [PathfinderVariant::Baseline, PathfinderVariant::Overlapped] {
+        g.bench_with_input(
+            BenchmarkId::new(variant.label(), "4096x101"),
+            &variant,
+            |b, &v| {
+                b.iter(|| {
+                    let mut m = Machine::new(platform::intel_pascal());
+                    black_box(run_pathfinder(
+                        &mut m,
+                        PathfinderConfig::new(4096, 101, 20),
+                        v,
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_minicu_pipeline(c: &mut Criterion) {
+    // Parse + instrument + interpret a small program: the toolchain cost.
+    let src = r#"
+        __global__ void k(double* p, int n) {
+            int i = threadIdx.x;
+            if (i < n) { p[i] = p[i] * 2.0 + 1.0; }
+        }
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 256 * sizeof(double));
+            for (int i = 0; i < 256; i++) { p[i] = i; }
+            k<<<1, 256>>>(p, 256);
+            double s = 0.0;
+            for (int i = 0; i < 256; i++) { s += p[i]; }
+            return (int)s;
+        }
+    "#;
+    c.bench_function("minicu/parse_instrument", |b| {
+        b.iter(|| {
+            let prog = xplacer_lang::parser::parse(black_box(src)).unwrap();
+            black_box(xplacer_instrument::instrument(&prog).program)
+        });
+    });
+    let mut g = c.benchmark_group("minicu_run");
+    g.sample_size(20);
+    for traced in [false, true] {
+        let label = if traced { "instrumented" } else { "plain" };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    xplacer_interp::run_source(src, platform::intel_pascal(), traced).unwrap().0.exit,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lulesh,
+    bench_smith_waterman,
+    bench_pathfinder,
+    bench_minicu_pipeline
+);
+criterion_main!(benches);

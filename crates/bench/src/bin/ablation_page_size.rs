@@ -1,0 +1,4 @@
+//! Page-size ablation: false-sharing-like bouncing vs streaming faults.
+fn main() {
+    print!("{}", xplacer_bench::figs::ablation_page_size::report());
+}

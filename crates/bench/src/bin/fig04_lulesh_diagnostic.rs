@@ -1,0 +1,9 @@
+//! Regenerates Fig. 4: LULESH diagnostic output after iteration 2.
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    if full {
+        print!("{}", xplacer_bench::figs::fig04_lulesh_diagnostic::full_report());
+    } else {
+        print!("{}", xplacer_bench::figs::fig04_lulesh_diagnostic::report());
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5: access maps of the LULESH domain object.
+fn main() {
+    print!("{}", xplacer_bench::figs::fig05_lulesh_maps::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7: Smith-Waterman H-matrix initialization maps.
+fn main() {
+    print!("{}", xplacer_bench::figs::fig07_sw_init_maps::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8: Smith-Waterman GPU access maps at iteration 8.
+fn main() {
+    print!("{}", xplacer_bench::figs::fig08_sw_diag_maps::report());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9: Smith-Waterman rotated-matrix speedups.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", xplacer_bench::figs::fig09_sw_speedup::report(quick));
+}

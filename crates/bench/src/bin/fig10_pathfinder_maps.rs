@@ -1,0 +1,4 @@
+//! Regenerates Fig. 10: Pathfinder gpuWall access maps per iteration.
+fn main() {
+    print!("{}", xplacer_bench::figs::fig10_pathfinder_maps::report());
+}

@@ -1,0 +1,65 @@
+//! Runs every table/figure harness and writes the collected reports to
+//! `results/` (one file per experiment) plus everything to stdout.
+//! Pass `--quick` for reduced sweeps.
+
+use std::fs;
+use std::time::Instant;
+
+use xplacer_bench::figs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let outdir = std::path::Path::new("results");
+    let _ = fs::create_dir_all(outdir);
+
+    let experiments: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+        ("table1_api", Box::new(figs::table1_api::report)),
+        ("fig04_lulesh_diagnostic", Box::new(figs::fig04_lulesh_diagnostic::report)),
+        ("fig05_lulesh_maps", Box::new(figs::fig05_lulesh_maps::report)),
+        ("fig06_lulesh_speedup", Box::new(move || figs::fig06_lulesh_speedup::report(quick))),
+        ("fig07_sw_init_maps", Box::new(figs::fig07_sw_init_maps::report)),
+        ("fig08_sw_diag_maps", Box::new(figs::fig08_sw_diag_maps::report)),
+        ("fig09_sw_speedup", Box::new(move || figs::fig09_sw_speedup::report(quick))),
+        ("fig10_pathfinder_maps", Box::new(figs::fig10_pathfinder_maps::report)),
+        ("fig11_pathfinder_speedup", Box::new(move || figs::fig11_pathfinder_speedup::report(quick))),
+        ("table2_rodinia_findings", Box::new(figs::table2_rodinia::report)),
+        ("table3_overhead", Box::new(move || figs::table3_overhead::report(quick))),
+        ("ablation_page_size", Box::new(figs::ablation_page_size::report)),
+    ];
+
+    for (name, f) in experiments {
+        let t0 = Instant::now();
+        let report = f();
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{report}");
+        eprintln!("[{name}: {dt:.1}s]");
+        let _ = fs::write(outdir.join(format!("{name}.txt")), &report);
+    }
+
+    // Image (PBM) versions of the access-map figures, like the paper's
+    // graphical maps. Convert with e.g. `magick fig05_cpu_writes.pbm x.png`.
+    use xplacer_bench::figs::{fig05_lulesh_maps, fig07_sw_init_maps, fig10_pathfinder_maps};
+    use xplacer_core::accessmap::to_pbm;
+    {
+        let (first, second) = fig05_lulesh_maps::measure();
+        for (label, bits) in [
+            ("fig05_iter1_cpu_writes", &first.cpu_writes),
+            ("fig05_iter1_gpu_reads", &first.gpu_reads),
+            ("fig05_iter2_cpu_writes", &second.cpu_writes),
+            ("fig05_iter2_overlap", &second.overlap),
+        ] {
+            let _ = fs::write(outdir.join(format!("{label}.pbm")), to_pbm(bits, 64));
+        }
+        let (writes, consumed, cfg) = fig07_sw_init_maps::measure();
+        let _ = fs::write(outdir.join("fig07_cpu_writes.pbm"), to_pbm(&writes, cfg.m + 1));
+        let _ = fs::write(outdir.join("fig07_consumed.pbm"), to_pbm(&consumed, cfg.m + 1));
+        let maps = fig10_pathfinder_maps::measure();
+        for (i, bits) in maps.gpu_reads_per_iter.iter().enumerate() {
+            let _ = fs::write(
+                outdir.join(format!("fig10_iter{}_gpu_reads.pbm", i + 1)),
+                to_pbm(bits, 200),
+            );
+        }
+    }
+    eprintln!("reports + map images written to {}", outdir.display());
+}

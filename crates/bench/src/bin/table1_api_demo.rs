@@ -1,0 +1,4 @@
+//! Demonstrates Table I: the instrumentation API on the paper's examples.
+fn main() {
+    print!("{}", xplacer_bench::figs::table1_api::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II: findings in the Rodinia benchmark subset.
+fn main() {
+    print!("{}", xplacer_bench::figs::table2_rodinia::report());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table III: instrumentation runtime overhead.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", xplacer_bench::figs::table3_overhead::report(quick));
+}

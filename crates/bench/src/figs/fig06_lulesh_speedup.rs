@@ -1,0 +1,166 @@
+//! Fig. 6: LULESH 2 speedup over the managed-memory baseline, for the
+//! four remedies on the three CPU/GPU platforms over four problem sizes.
+//!
+//! Paper reference points: ReadMostly reaches 2.75x (Intel+Pascal) and
+//! 3.1x (Intel+Volta) at large sizes; domain duplication 3.1x/3.7x; on
+//! IBM+Volta duplication is marginal (1.03x) and ReadMostly is a
+//! *slowdown* (0.8x).
+
+use hetsim::{platform, Machine, Platform};
+use xplacer_workloads::lulesh::{run_lulesh, LuleshConfig, LuleshVariant};
+
+use crate::{fmt_speedup, fmt_time, header, Grid};
+
+/// Problem sizes of the paper's sweep.
+pub const SIZES: [usize; 4] = [8, 16, 32, 48];
+/// Timesteps per measurement (speedups are per-step ratios, so the count
+/// only needs to amortize startup).
+pub const STEPS: usize = 10;
+
+/// One measured cell of the figure.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub platform: &'static str,
+    pub size: usize,
+    pub variant: LuleshVariant,
+    pub baseline_ns: f64,
+    pub variant_ns: f64,
+}
+
+impl Cell {
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns / self.variant_ns
+    }
+}
+
+/// Run the full sweep (or a reduced one when `quick`).
+pub fn measure(quick: bool) -> Vec<Cell> {
+    let sizes: &[usize] = if quick { &SIZES[..2] } else { &SIZES };
+    let steps = if quick { 4 } else { STEPS };
+    let mut cells = Vec::new();
+    for pf in platform::all_platforms() {
+        for &size in sizes {
+            let cfg = LuleshConfig::new(size, steps);
+            let base = run_one(&pf, cfg, LuleshVariant::Baseline);
+            for v in [
+                LuleshVariant::ReadMostly,
+                LuleshVariant::PreferredCpu,
+                LuleshVariant::AccessedBy,
+                LuleshVariant::DupDomain,
+            ] {
+                let t = run_one(&pf, cfg, v);
+                cells.push(Cell {
+                    platform: pf.name,
+                    size,
+                    variant: v,
+                    baseline_ns: base,
+                    variant_ns: t,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn run_one(pf: &Platform, cfg: LuleshConfig, v: LuleshVariant) -> f64 {
+    let mut m = Machine::new(pf.clone());
+    run_lulesh(&mut m, cfg, v).elapsed_ns
+}
+
+/// Render the figure as one grid per platform.
+pub fn report(quick: bool) -> String {
+    let cells = measure(quick);
+    let mut out = header(
+        "Fig. 6",
+        "LULESH 2 speedup over baseline (4 remedies x 3 platforms x sizes)",
+    );
+    out.push_str(
+        "paper: Intel ReadMostly 2.75-3.1x, duplication 3.1-3.7x at large sizes;\n\
+         IBM+Volta duplication ~1.03x, ReadMostly ~0.8x (slower)\n\n",
+    );
+    for pf in platform::all_platforms() {
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = cells
+                .iter()
+                .filter(|c| c.platform == pf.name)
+                .map(|c| c.size)
+                .collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        let col_names: Vec<String> = sizes.iter().map(|s| format!("size {s}")).collect();
+        let col_refs: Vec<&str> = col_names.iter().map(|s| s.as_str()).collect();
+        let mut g = Grid::new(format!("{} (speedup over baseline)", pf.name), &col_refs);
+        for v in [
+            LuleshVariant::ReadMostly,
+            LuleshVariant::PreferredCpu,
+            LuleshVariant::AccessedBy,
+            LuleshVariant::DupDomain,
+        ] {
+            let row: Vec<String> = sizes
+                .iter()
+                .map(|&s| {
+                    cells
+                        .iter()
+                        .find(|c| c.platform == pf.name && c.size == s && c.variant == v)
+                        .map(|c| fmt_speedup(c.speedup()))
+                        .unwrap_or_default()
+                })
+                .collect();
+            g.row(v.label(), row);
+        }
+        // Baseline absolute times, like the figure caption.
+        let base_row: Vec<String> = sizes
+            .iter()
+            .map(|&s| {
+                cells
+                    .iter()
+                    .find(|c| c.platform == pf.name && c.size == s)
+                    .map(|c| fmt_time(c.baseline_ns))
+                    .unwrap_or_default()
+            })
+            .collect();
+        g.row("baseline (sim)", base_row);
+        out.push_str(&g.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_has_expected_shape() {
+        let cells = measure(true);
+        // 3 platforms x 2 sizes x 4 variants.
+        assert_eq!(cells.len(), 24);
+        // Intel platforms: every remedy is a win at every size.
+        for c in cells.iter().filter(|c| c.platform != "IBM+Volta") {
+            assert!(
+                c.speedup() > 1.3,
+                "{} size {} {:?}: speedup {:.2}",
+                c.platform,
+                c.size,
+                c.variant,
+                c.speedup()
+            );
+        }
+        // IBM: everything is marginal; ReadMostly does not win.
+        for c in cells.iter().filter(|c| c.platform == "IBM+Volta") {
+            assert!(
+                c.speedup() < 1.5,
+                "IBM {:?} speedup {:.2} unexpectedly large",
+                c.variant,
+                c.speedup()
+            );
+        }
+        let rm = cells
+            .iter()
+            .find(|c| c.platform == "IBM+Volta" && c.variant == LuleshVariant::ReadMostly)
+            .unwrap();
+        assert!(rm.speedup() < 1.05);
+    }
+}

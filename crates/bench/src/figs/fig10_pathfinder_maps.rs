@@ -1,0 +1,133 @@
+//! Fig. 10: Pathfinder access maps of `gpuWall`: initialized by the CPU
+//! and copied to the GPU in one piece (a), then each kernel iteration
+//! reads one fifth of it (b: iteration 1, c: iteration 2, d: iteration 5).
+
+use hetsim::{platform, Machine};
+use xplacer_core::accessmap::{extract, fill_ratio, render_ascii, MapKind};
+use xplacer_workloads::register_names;
+use xplacer_workloads::rodinia::pathfinder::{Pathfinder, PathfinderConfig, PathfinderVariant};
+
+use crate::header;
+
+/// Scaled configuration: 5 iterations so each reads 20 % of the wall,
+/// like the paper's figure.
+pub fn config() -> PathfinderConfig {
+    PathfinderConfig::new(2000, 101, 20)
+}
+
+/// Collected maps: the initial CPU-write coverage and the GPU read map
+/// after iterations 1, 2, and 5 (per-iteration epochs).
+pub struct Maps {
+    pub cpu_writes_initial: Vec<bool>,
+    pub gpu_reads_per_iter: Vec<Vec<bool>>,
+}
+
+pub fn measure() -> Maps {
+    let cfg = config();
+    let mut m = Machine::new(platform::intel_pascal());
+    let tracer = xplacer_core::attach_tracer(&mut m);
+    let mut p = Pathfinder::setup(&mut m, cfg, PathfinderVariant::Baseline);
+    register_names(&tracer, &p.names());
+    let wall_addr = p.gpu_wall.addr;
+
+    // Map (a): what the bulk H2D copy wrote (recorded as CPU writes).
+    let cpu_writes_initial = {
+        let t = tracer.borrow();
+        let e = t.smt.lookup(wall_addr).expect("gpuWall tracked");
+        extract(e, MapKind::CpuWrite)
+    };
+    tracer.borrow_mut().end_epoch();
+
+    let mut gpu_reads_per_iter = Vec::new();
+    p.run(&mut m, |_, _| {
+        let mut t = tracer.borrow_mut();
+        let e = t.smt.lookup(wall_addr).expect("gpuWall tracked");
+        gpu_reads_per_iter.push(extract(e, MapKind::GpuRead));
+        t.end_epoch();
+    });
+    Maps {
+        cpu_writes_initial,
+        gpu_reads_per_iter,
+    }
+}
+
+fn panel(out: &mut String, caption: &str, bits: &[bool]) {
+    out.push_str(&format!(
+        "{caption} — {:.0}% of gpuWall:\n",
+        fill_ratio(bits) * 100.0
+    ));
+    // Compress: one character per 1/80th of the array.
+    let chunk = (bits.len() / 80).max(1);
+    let condensed: Vec<bool> = bits
+        .chunks(chunk)
+        .map(|c| c.iter().any(|&b| b))
+        .collect();
+    out.push_str(&render_ascii(&condensed, 80));
+    out.push('\n');
+}
+
+/// Render the four panels.
+pub fn report() -> String {
+    let maps = measure();
+    let mut out = header(
+        "Fig. 10",
+        "Pathfinder: gpuWall access maps (5 iterations, 1/5 slice each)",
+    );
+    panel(&mut out, "(a) CPU writes (bulk H2D copy)", &maps.cpu_writes_initial);
+    for (label, idx) in [("(b) GPU reads, iteration 1", 0), ("(c) GPU reads, iteration 2", 1), ("(d) GPU reads, iteration 5", 4)] {
+        if let Some(bits) = maps.gpu_reads_per_iter.get(idx) {
+            panel(&mut out, label, bits);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_copy_covers_everything() {
+        let maps = measure();
+        assert!(maps.cpu_writes_initial.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn each_iteration_reads_one_fifth() {
+        let maps = measure();
+        assert_eq!(maps.gpu_reads_per_iter.len(), 5);
+        for (i, bits) in maps.gpu_reads_per_iter.iter().enumerate() {
+            let ratio = fill_ratio(bits);
+            assert!(
+                (0.15..0.25).contains(&ratio),
+                "iteration {i} read {:.0}%",
+                ratio * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn iterations_read_disjoint_consecutive_slices() {
+        let maps = measure();
+        let first_set = |bits: &[bool]| bits.iter().position(|&b| b).unwrap();
+        let starts: Vec<usize> = maps.gpu_reads_per_iter.iter().map(|b| first_set(b)).collect();
+        for w in starts.windows(2) {
+            assert!(w[1] > w[0], "slices should advance: {starts:?}");
+        }
+        // Disjoint: iteration 1 and 2 share no words.
+        let overlap = maps.gpu_reads_per_iter[0]
+            .iter()
+            .zip(&maps.gpu_reads_per_iter[1])
+            .filter(|(&a, &b)| a && b)
+            .count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn report_has_four_panels() {
+        let r = report();
+        for p in ["(a)", "(b)", "(c)", "(d)"] {
+            assert!(r.contains(p));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per table/figure of the paper's evaluation. Each exposes a
+//! `report()` function returning the regenerated content as text.
+
+pub mod ablation_page_size;
+pub mod fig04_lulesh_diagnostic;
+pub mod fig05_lulesh_maps;
+pub mod fig06_lulesh_speedup;
+pub mod fig07_sw_init_maps;
+pub mod fig08_sw_diag_maps;
+pub mod fig09_sw_speedup;
+pub mod fig10_pathfinder_maps;
+pub mod fig11_pathfinder_speedup;
+pub mod table1_api;
+pub mod table2_rodinia;
+pub mod table3_overhead;

@@ -1,0 +1,107 @@
+//! Table I: the instrumentation API — demonstrated live. Takes the
+//! paper's example fragments through the real pass: memory access
+//! tracing (`traceR`/`traceW`/`traceRW`), function-call replacement
+//! (`#pragma xpl replace`), kernel-launch wrapping, and diagnostic
+//! output insertion (`#pragma xpl diagnostic`).
+
+use xplacer_instrument::instrument;
+use xplacer_lang::parser::parse;
+use xplacer_lang::unparse::unparse;
+
+use crate::header;
+
+/// The demonstration source: the paper's Fig. 2 examples plus one of
+/// each pragma.
+pub const DEMO_SOURCE: &str = r#"struct Pair { int* first; int* second; };
+
+#pragma xpl replace cudaMallocManaged
+int trcMallocManaged(void** p, size_t sz);
+
+#pragma xpl replace kernel-launch
+void traceKernelLaunch(int grd, int blk, char* kernel);
+
+__global__ void touch(int* p, int n) {
+    int i = threadIdx.x;
+    if (i < n) {
+        p[i] = p[i] + 1;
+    }
+}
+
+int main() {
+    int* p = new int(2);
+    int x = *p;
+    *p = 3;
+    (*p)++;
+    Pair* a;
+    int* z;
+    cudaMallocManaged((void**)&a, sizeof(Pair));
+    cudaMallocManaged((void**)&z, sizeof(int));
+    touch<<<1, 8>>>(z, 1);
+#pragma xpl diagnostic tracePrint(out; a, z)
+    return x;
+}
+"#;
+
+/// Instrument the demo and return `(original, instrumented)` text.
+pub fn measure() -> (String, String) {
+    let prog = parse(DEMO_SOURCE).expect("demo parses");
+    let inst = instrument(&prog);
+    (DEMO_SOURCE.to_string(), unparse(&inst.program))
+}
+
+/// Render the side-by-side demonstration.
+pub fn report() -> String {
+    let (original, instrumented) = measure();
+    let mut out = header(
+        "Table I",
+        "XPlacer instrumentation API, demonstrated on the paper's examples",
+    );
+    out.push_str("--- original source ---\n");
+    out.push_str(&original);
+    out.push_str("\n--- after the XPlacer pass ---\n");
+    out.push_str(&instrumented);
+    out.push_str(
+        "\nAPI elements exercised: traceR / traceW / traceRW wrapping of heap\n\
+         l-values; #pragma xpl replace (cudaMallocManaged -> trcMallocManaged,\n\
+         kernel-launch -> traceKernelLaunch); #pragma xpl diagnostic with\n\
+         recursive XplAllocData expansion of `a` (a, a->first, a->second) and `z`.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_exercises_every_table1_row() {
+        let (_, inst) = measure();
+        // Memory access tracing.
+        assert!(inst.contains("int x = traceR(*p);"), "{inst}");
+        assert!(inst.contains("traceW(*p) = 3;"), "{inst}");
+        assert!(inst.contains("traceRW(*p)++;"), "{inst}");
+        // Function replacement.
+        assert!(inst.contains("trcMallocManaged((void**)(&a)"), "{inst}");
+        // Kernel-launch replacement.
+        assert!(inst.contains("traceKernelLaunch(1, 8, \"touch\", z, 1)"), "{inst}");
+        // Diagnostic expansion.
+        assert!(inst.contains("XplAllocData(a, \"a\""), "{inst}");
+        assert!(inst.contains("XplAllocData(a->first, \"a->first\""), "{inst}");
+        assert!(inst.contains("XplAllocData(z, \"z\""), "{inst}");
+    }
+
+    #[test]
+    fn instrumented_demo_runs_and_diagnoses() {
+        let (out, interp) = xplacer_interp::run_source(
+            DEMO_SOURCE,
+            hetsim::platform::intel_pascal(),
+            true,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(out.exit, 2);
+        assert!(out.stdout.contains("named allocations"), "{}", out.stdout);
+        assert!(out.stdout.contains("z"), "{}", out.stdout);
+        // z alternates: CPU allocates/initializes, GPU RMWs it.
+        let _ = interp;
+    }
+}

@@ -1,0 +1,135 @@
+//! Aggregated analysis report: the structured counterpart of the paper's
+//! textual diagnostic messages, with remedies attached.
+
+use std::collections::BTreeMap;
+
+use crate::antipattern::{Finding, FindingKind};
+
+/// The result of one `analyze` run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in allocation order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn new(findings: Vec<Finding>) -> Self {
+        Report { findings }
+    }
+
+    /// No anti-patterns detected.
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Findings of one family.
+    pub fn of_kind(&self, kind: FindingKind) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.kind() == kind)
+    }
+
+    /// Count findings per family.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            let key = match f.kind() {
+                FindingKind::Alternating => "alternating",
+                FindingKind::LowDensity => "low-density",
+                FindingKind::UnnecessaryTransfer => "unnecessary-transfer",
+                FindingKind::UnusedAllocation => "unused-allocation",
+            };
+            *m.entry(key).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Findings that mention allocation `name`.
+    pub fn for_alloc<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Finding> {
+        self.findings.iter().filter(move |f| f.alloc_name() == name)
+    }
+
+    /// Human-readable report: each finding with its remedy.
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "no possible improvements identified.\n".to_string();
+        }
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("- {f}\n  remedy: {}\n", f.remedy()));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report::new(vec![
+            Finding::AlternatingAccess {
+                name: "dom".into(),
+                base: 0x1000,
+                elements: 18,
+            },
+            Finding::UnusedAllocation {
+                name: "output_hidden_cuda".into(),
+                base: 0x2000,
+                size: 64,
+            },
+            Finding::RoundTripUnmodified {
+                name: "input_cuda".into(),
+                base: 0x3000,
+            },
+        ])
+    }
+
+    #[test]
+    fn empty_report_matches_paper_phrase() {
+        // Table II uses exactly this phrase for CFD and NN.
+        assert_eq!(
+            Report::default().render(),
+            "no possible improvements identified.\n"
+        );
+    }
+
+    #[test]
+    fn counts_by_family() {
+        let r = sample();
+        let c = r.counts();
+        assert_eq!(c["alternating"], 1);
+        assert_eq!(c["unused-allocation"], 1);
+        assert_eq!(c["unnecessary-transfer"], 1);
+    }
+
+    #[test]
+    fn filter_by_alloc_name() {
+        let r = sample();
+        assert_eq!(r.for_alloc("dom").count(), 1);
+        assert_eq!(r.for_alloc("nothing").count(), 0);
+    }
+
+    #[test]
+    fn render_includes_remedies() {
+        let txt = sample().render();
+        assert!(txt.contains("18 elements"));
+        assert!(txt.contains("remedy:"));
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let r = sample();
+        assert_eq!(r.of_kind(FindingKind::Alternating).count(), 1);
+        assert_eq!(r.of_kind(FindingKind::LowDensity).count(), 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! The tracer: XPlacer's runtime bookkeeping (paper §III-C).
+//!
+//! Implements [`hetsim::MemHook`], so attaching a [`Tracer`] to a
+//! [`hetsim::Machine`] corresponds to running the source-instrumented
+//! binary: every heap read/write lands in `traceR`/`traceW`/`traceRW`,
+//! every allocation in the wrapped `cudaMalloc*`, every copy in the
+//! wrapped `cudaMemcpy`, every launch in the kernel-launch wrapper.
+
+use hetsim::{Addr, AllocKind, CopyKind, Device, MemHook};
+
+use crate::smt::Smt;
+
+/// A user-level object description, as produced by the expansion of the
+/// `#pragma xpl diagnostic` arguments (paper §III-B): target address,
+/// access expression, and element size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XplAllocData {
+    /// Address the expression points to.
+    pub addr: Addr,
+    /// The access expression, e.g. `(dom)->m_p`.
+    pub name: String,
+    /// `sizeof(*expr)`.
+    pub elem_size: u64,
+}
+
+impl XplAllocData {
+    pub fn new(addr: Addr, name: impl Into<String>, elem_size: u64) -> Self {
+        XplAllocData {
+            addr,
+            name: name.into(),
+            elem_size,
+        }
+    }
+}
+
+/// The runtime tracer.
+pub struct Tracer {
+    /// The shadow memory table. Public so analyses can walk it.
+    pub smt: Smt,
+    /// When false, trace calls are no-ops (lets harnesses skip warmup).
+    pub enabled: bool,
+    /// Kernel launches observed this epoch (name, count collapsed).
+    pub kernel_log: Vec<String>,
+    /// Bases freed this epoch (their shadow lives until `end_epoch`).
+    pending_free: Vec<Addr>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Tracer {
+            smt: Smt::new(),
+            enabled: true,
+            kernel_log: Vec::new(),
+            pending_free: Vec::new(),
+        }
+    }
+
+    /// Record a read of `size` bytes at `addr` by `dev` — `traceR`.
+    #[inline]
+    pub fn trace_r(&mut self, dev: Device, addr: Addr, size: u32) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(e) = self.smt.lookup_mut(addr) {
+            let (a, b) = e.word_span(addr, size);
+            for w in &mut e.shadow[a..=b] {
+                w.record_read(dev);
+            }
+        }
+    }
+
+    /// Record a write — `traceW`.
+    #[inline]
+    pub fn trace_w(&mut self, dev: Device, addr: Addr, size: u32) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(e) = self.smt.lookup_mut(addr) {
+            let (a, b) = e.word_span(addr, size);
+            for w in &mut e.shadow[a..=b] {
+                w.record_write(dev);
+            }
+        }
+    }
+
+    /// Record a read-modify-write — `traceRW`. The read sees the value
+    /// before the write, so order matters.
+    #[inline]
+    pub fn trace_rw(&mut self, dev: Device, addr: Addr, size: u32) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(e) = self.smt.lookup_mut(addr) {
+            let (a, b) = e.word_span(addr, size);
+            for w in &mut e.shadow[a..=b] {
+                w.record_read(dev);
+                w.record_write(dev);
+            }
+        }
+    }
+
+    /// Register user-level names for allocations (the expanded argument
+    /// list of `#pragma xpl diagnostic`). Unknown addresses are ignored,
+    /// matching the paper's "not tracked ⇒ ignored" rule.
+    pub fn register_names(&mut self, objects: &[XplAllocData]) {
+        for o in objects {
+            self.smt.set_label(o.addr, &o.name);
+        }
+    }
+
+    /// Shorthand for a single name.
+    pub fn name(&mut self, addr: Addr, name: &str) {
+        self.smt.set_label(addr, name);
+    }
+
+    /// End the current diagnostic epoch: zero all shadow memory, release
+    /// shadow entries of allocations freed during the epoch, clear the
+    /// kernel log. Called by `tracePrint` after producing output.
+    pub fn end_epoch(&mut self) {
+        self.smt.reset_shadows();
+        self.smt.purge_dead();
+        self.pending_free.clear();
+        self.kernel_log.clear();
+    }
+
+    /// Number of allocations currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.smt.len()
+    }
+}
+
+impl MemHook for Tracer {
+    fn on_alloc(&mut self, base: Addr, size: u64, kind: AllocKind) {
+        if self.enabled {
+            self.smt.insert(base, size, kind);
+        }
+    }
+
+    fn on_free(&mut self, base: Addr) {
+        if self.enabled && self.smt.remove_defer(base) {
+            self.pending_free.push(base);
+        }
+    }
+
+    fn on_read(&mut self, dev: Device, addr: Addr, size: u32) {
+        self.trace_r(dev, addr, size);
+    }
+
+    fn on_write(&mut self, dev: Device, addr: Addr, size: u32) {
+        self.trace_w(dev, addr, size);
+    }
+
+    fn on_read_write(&mut self, dev: Device, addr: Addr, size: u32) {
+        self.trace_rw(dev, addr, size);
+    }
+
+    fn on_memcpy(&mut self, dst: Addr, src: Addr, bytes: u64, kind: CopyKind) {
+        if !self.enabled || bytes == 0 {
+            return;
+        }
+        // Paper §III-C: "Memory transfers from CPU to GPU are recorded as
+        // writes by the CPU, while memory transfers from GPU to CPU are
+        // recorded as reads by the CPU."
+        match kind {
+            CopyKind::HostToDevice => {
+                if let Some(e) = self.smt.lookup_mut(dst) {
+                    let (a, b) = e.word_span(dst, bytes as u32);
+                    for w in &mut e.shadow[a..=b] {
+                        w.record_write(Device::Cpu);
+                    }
+                    e.copied_in.push((dst - e.base, bytes));
+                }
+            }
+            CopyKind::DeviceToHost => {
+                if let Some(e) = self.smt.lookup_mut(src) {
+                    let (a, b) = e.word_span(src, bytes as u32);
+                    for w in &mut e.shadow[a..=b] {
+                        w.record_read(Device::Cpu);
+                    }
+                    e.copied_out.push((src - e.base, bytes));
+                }
+            }
+            CopyKind::DeviceToDevice | CopyKind::HostToHost => {
+                // Same-side copies move no data across the interconnect;
+                // record plain access on both operands.
+                if let Some(e) = self.smt.lookup_mut(src) {
+                    let (a, b) = e.word_span(src, bytes as u32);
+                    let dev = if kind == CopyKind::HostToHost {
+                        Device::Cpu
+                    } else {
+                        Device::GPU0
+                    };
+                    for w in &mut e.shadow[a..=b] {
+                        w.record_read(dev);
+                    }
+                }
+                if let Some(e) = self.smt.lookup_mut(dst) {
+                    let (a, b) = e.word_span(dst, bytes as u32);
+                    let dev = if kind == CopyKind::HostToHost {
+                        Device::Cpu
+                    } else {
+                        Device::GPU0
+                    };
+                    for w in &mut e.shadow[a..=b] {
+                        w.record_write(dev);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_kernel_launch(&mut self, name: &str) {
+        if self.enabled {
+            self.kernel_log.push(name.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::AccessFlags;
+
+    const GPU: Device = Device::GPU0;
+
+    fn tracer_with_alloc(size: u64) -> (Tracer, Addr) {
+        let mut t = Tracer::new();
+        let base = 0x10_0000;
+        t.on_alloc(base, size, AllocKind::Managed);
+        (t, base)
+    }
+
+    #[test]
+    fn read_write_update_shadow_words() {
+        let (mut t, base) = tracer_with_alloc(64);
+        t.trace_w(Device::Cpu, base, 8); // words 0 and 1
+        t.trace_r(GPU, base + 4, 4); // word 1
+        let e = t.smt.lookup(base).unwrap();
+        assert!(e.shadow[0].get(AccessFlags::CPU_WROTE));
+        assert!(e.shadow[1].get(AccessFlags::CPU_WROTE));
+        assert!(e.shadow[1].get(AccessFlags::R_CG));
+        assert!(!e.shadow[2].touched());
+    }
+
+    #[test]
+    fn untracked_addresses_ignored() {
+        let (mut t, _) = tracer_with_alloc(64);
+        t.trace_w(Device::Cpu, 0xDEAD_0000, 4); // no crash, no effect
+        assert_eq!(t.tracked(), 1);
+    }
+
+    #[test]
+    fn rmw_is_read_then_write() {
+        let (mut t, base) = tracer_with_alloc(16);
+        // GPU increments a value last written by the CPU.
+        t.trace_w(Device::Cpu, base, 4);
+        t.trace_rw(GPU, base, 4);
+        let e = t.smt.lookup(base).unwrap();
+        // The read saw CPU origin (C>G), then the GPU became last writer.
+        assert!(e.shadow[0].get(AccessFlags::R_CG));
+        assert!(e.shadow[0].get(AccessFlags::GPU_WROTE));
+        assert!(e.shadow[0].get(AccessFlags::LAST_WRITER_GPU));
+    }
+
+    #[test]
+    fn h2d_memcpy_recorded_as_cpu_writes_on_dst() {
+        let mut t = Tracer::new();
+        t.on_alloc(0x10_0000, 256, AllocKind::Host);
+        t.on_alloc(0x20_0000, 256, AllocKind::Device(0));
+        t.on_memcpy(0x20_0000, 0x10_0000, 128, CopyKind::HostToDevice);
+        let e = t.smt.lookup(0x20_0000).unwrap();
+        assert!(e.shadow[0].get(AccessFlags::CPU_WROTE));
+        assert!(e.shadow[31].get(AccessFlags::CPU_WROTE));
+        assert!(!e.shadow[32].touched());
+        assert_eq!(e.copied_in, vec![(0, 128)]);
+    }
+
+    #[test]
+    fn d2h_memcpy_recorded_as_cpu_reads_of_src() {
+        let mut t = Tracer::new();
+        t.on_alloc(0x10_0000, 256, AllocKind::Device(0));
+        t.on_alloc(0x20_0000, 256, AllocKind::Host);
+        // GPU wrote the buffer first.
+        t.trace_w(GPU, 0x10_0000, 256);
+        t.on_memcpy(0x20_0000, 0x10_0000, 256, CopyKind::DeviceToHost);
+        let e = t.smt.lookup(0x10_0000).unwrap();
+        // CPU reads of GPU-written values: G>C.
+        assert!(e.shadow[0].get(AccessFlags::R_GC));
+        assert_eq!(e.copied_out, vec![(0, 256)]);
+    }
+
+    #[test]
+    fn epoch_reset_clears_everything() {
+        let (mut t, base) = tracer_with_alloc(64);
+        t.trace_w(Device::Cpu, base, 4);
+        t.on_kernel_launch("k1");
+        t.on_free(base);
+        assert_eq!(t.tracked(), 1); // deferred
+        t.end_epoch();
+        assert_eq!(t.tracked(), 0);
+        assert!(t.kernel_log.is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let (mut t, base) = tracer_with_alloc(64);
+        t.enabled = false;
+        t.trace_w(Device::Cpu, base, 4);
+        t.on_kernel_launch("k");
+        let e = t.smt.lookup(base).unwrap();
+        assert!(!e.shadow[0].touched());
+        assert!(t.kernel_log.is_empty());
+    }
+
+    #[test]
+    fn register_names_labels_known_allocs_only() {
+        let (mut t, base) = tracer_with_alloc(64);
+        t.register_names(&[
+            XplAllocData::new(base, "dom", 8),
+            XplAllocData::new(0xBAD, "ghost", 8),
+        ]);
+        assert_eq!(t.smt.lookup(base).unwrap().display_name(), "dom");
+    }
+}

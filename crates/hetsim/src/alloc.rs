@@ -1,0 +1,333 @@
+//! Simulated address space: a bump allocator handing out page-aligned
+//! ranges, each backed by real bytes so workloads compute verifiable
+//! results.
+
+use std::collections::BTreeMap;
+
+use crate::error::{SimError, SimResult};
+use crate::types::{Addr, AllocKind};
+
+/// First address ever handed out; everything below it (including null)
+/// faults as unallocated.
+pub const HEAP_BASE: Addr = 0x10_0000;
+
+/// One live or freed allocation.
+#[derive(Debug)]
+pub struct Allocation {
+    /// Base address (what the allocating call returned).
+    pub base: Addr,
+    /// Size in bytes as requested.
+    pub size: u64,
+    /// Which API family produced it.
+    pub kind: AllocKind,
+    /// Backing bytes (zero-initialized; deterministic stand-in for
+    /// whatever garbage real memory would contain).
+    pub data: Vec<u8>,
+    /// False once freed. Freed entries are kept so use-after-free and
+    /// double-free are reported precisely.
+    pub live: bool,
+    /// Monotonic id, in allocation order.
+    pub serial: u64,
+}
+
+impl Allocation {
+    /// Whether `addr..addr+len` lies inside this allocation.
+    #[inline]
+    pub fn contains(&self, addr: Addr, len: u64) -> bool {
+        addr >= self.base && addr + len <= self.base + self.size
+    }
+
+    /// Exclusive end address.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        self.base + self.size
+    }
+}
+
+/// The address space of the simulated node. All devices share one virtual
+/// address space, as under CUDA unified addressing.
+pub struct AddressSpace {
+    allocs: BTreeMap<Addr, Allocation>,
+    next: Addr,
+    next_serial: u64,
+    align: u64,
+    /// Base of the most recently touched allocation — workloads stream, so
+    /// this hits almost always and skips the tree walk.
+    last_hit: Addr,
+}
+
+impl AddressSpace {
+    /// Create an empty address space whose allocations are aligned to
+    /// `align` bytes (the machine passes its page size so distinct
+    /// allocations never share a page).
+    pub fn new(align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        AddressSpace {
+            allocs: BTreeMap::new(),
+            next: HEAP_BASE,
+            next_serial: 0,
+            align,
+            last_hit: 0,
+        }
+    }
+
+    /// Allocate `size` bytes (zero-size allocations occupy one alignment
+    /// unit so they still have a unique base).
+    pub fn alloc(&mut self, size: u64, kind: AllocKind) -> SimResult<Addr> {
+        let base = self.next;
+        let span = size.max(1).div_ceil(self.align) * self.align;
+        let (next, overflow) = base.overflowing_add(span);
+        if overflow {
+            return Err(SimError::OutOfMemory { requested: size });
+        }
+        self.next = next;
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.allocs.insert(
+            base,
+            Allocation {
+                base,
+                size,
+                kind,
+                data: vec![0u8; size as usize],
+                live: true,
+                serial,
+            },
+        );
+        Ok(base)
+    }
+
+    /// Free the allocation with base address `base`. Returns its size.
+    /// Backing bytes are dropped; the tombstone entry remains for
+    /// diagnostics.
+    pub fn free(&mut self, base: Addr) -> SimResult<u64> {
+        match self.allocs.get_mut(&base) {
+            None => Err(SimError::BadFree { addr: base }),
+            Some(a) if !a.live => Err(SimError::DoubleFree { base }),
+            Some(a) => {
+                a.live = false;
+                a.data = Vec::new();
+                if self.last_hit == base {
+                    self.last_hit = 0;
+                }
+                Ok(a.size)
+            }
+        }
+    }
+
+    /// Find the live allocation containing `addr..addr+len`.
+    pub fn find(&self, addr: Addr, len: u64) -> SimResult<&Allocation> {
+        // Fast path: same allocation as last time.
+        if self.last_hit != 0 {
+            if let Some(a) = self.allocs.get(&self.last_hit) {
+                if a.live && a.contains(addr, len) {
+                    return Ok(a);
+                }
+            }
+        }
+        self.find_slow(addr, len)
+    }
+
+    #[cold]
+    fn find_slow(&self, addr: Addr, len: u64) -> SimResult<&Allocation> {
+        let (_, a) = self
+            .allocs
+            .range(..=addr)
+            .next_back()
+            .ok_or(SimError::Unallocated { addr })?;
+        if !a.live {
+            if addr < a.end() {
+                return Err(SimError::UseAfterFree { addr });
+            }
+            return Err(SimError::Unallocated { addr });
+        }
+        if !a.contains(addr, len) {
+            if addr < a.end() {
+                return Err(SimError::OutOfBounds { addr, size: len });
+            }
+            return Err(SimError::Unallocated { addr });
+        }
+        Ok(a)
+    }
+
+    /// Like [`find`](Self::find) but remembers the hit for the fast path
+    /// and returns a mutable allocation.
+    pub fn find_mut(&mut self, addr: Addr, len: u64) -> SimResult<&mut Allocation> {
+        // Resolve the base first (immutably), then re-borrow mutably.
+        let base = self.find(addr, len)?.base;
+        self.last_hit = base;
+        Ok(self.allocs.get_mut(&base).expect("just found"))
+    }
+
+    /// Copy `out.len()` bytes starting at `addr` into `out`.
+    pub fn read_bytes(&mut self, addr: Addr, out: &mut [u8]) -> SimResult<()> {
+        let len = out.len() as u64;
+        let a = self.find_mut(addr, len)?;
+        let off = (addr - a.base) as usize;
+        out.copy_from_slice(&a.data[off..off + out.len()]);
+        Ok(())
+    }
+
+    /// Write `src` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, src: &[u8]) -> SimResult<()> {
+        let len = src.len() as u64;
+        let a = self.find_mut(addr, len)?;
+        let off = (addr - a.base) as usize;
+        a.data[off..off + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Copy `len` bytes from `src` to `dst` (the data side of `memcpy`).
+    /// Overlapping ranges behave like `memmove`.
+    pub fn copy_bytes(&mut self, dst: Addr, src: Addr, len: u64) -> SimResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let mut buf = vec![0u8; len as usize];
+        self.read_bytes(src, &mut buf)?;
+        self.write_bytes(dst, &buf)
+    }
+
+    /// Iterate over all live allocations in address order.
+    pub fn iter_live(&self) -> impl Iterator<Item = &Allocation> {
+        self.allocs.values().filter(|a| a.live)
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.iter_live().count()
+    }
+
+    /// Total bytes in live allocations.
+    pub fn live_bytes(&self) -> u64 {
+        self.iter_live().map(|a| a.size).sum()
+    }
+
+    /// Alignment (== machine page size).
+    pub fn alignment(&self) -> u64 {
+        self.align
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(4096)
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut s = space();
+        let a = s.alloc(100, AllocKind::Managed).unwrap();
+        let b = s.alloc(5000, AllocKind::Host).unwrap();
+        assert_eq!(a % 4096, 0);
+        assert_eq!(b % 4096, 0);
+        assert!(b >= a + 4096);
+    }
+
+    #[test]
+    fn zero_size_allocations_get_unique_bases() {
+        let mut s = space();
+        let a = s.alloc(0, AllocKind::Managed).unwrap();
+        let b = s.alloc(0, AllocKind::Managed).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = space();
+        let a = s.alloc(64, AllocKind::Managed).unwrap();
+        s.write_bytes(a + 8, &[1, 2, 3, 4]).unwrap();
+        let mut out = [0u8; 4];
+        s.read_bytes(a + 8, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fresh_memory_is_zeroed() {
+        let mut s = space();
+        let a = s.alloc(16, AllocKind::Device(0)).unwrap();
+        let mut out = [0xFFu8; 16];
+        s.read_bytes(a, &mut out).unwrap();
+        assert_eq!(out, [0u8; 16]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut s = space();
+        let a = s.alloc(16, AllocKind::Managed).unwrap();
+        let mut out = [0u8; 4];
+        let err = s.read_bytes(a + 14, &mut out).unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn unallocated_detected() {
+        let mut s = space();
+        let mut out = [0u8; 4];
+        assert!(matches!(
+            s.read_bytes(0x10, &mut out).unwrap_err(),
+            SimError::Unallocated { .. }
+        ));
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let mut s = space();
+        let a = s.alloc(32, AllocKind::Managed).unwrap();
+        s.free(a).unwrap();
+        let mut out = [0u8; 4];
+        assert_eq!(
+            s.read_bytes(a, &mut out).unwrap_err(),
+            SimError::UseAfterFree { addr: a }
+        );
+    }
+
+    #[test]
+    fn double_free_and_bad_free_detected() {
+        let mut s = space();
+        let a = s.alloc(32, AllocKind::Managed).unwrap();
+        s.free(a).unwrap();
+        assert_eq!(s.free(a).unwrap_err(), SimError::DoubleFree { base: a });
+        assert_eq!(
+            s.free(a + 8).unwrap_err(),
+            SimError::BadFree { addr: a + 8 }
+        );
+    }
+
+    #[test]
+    fn copy_bytes_moves_data() {
+        let mut s = space();
+        let a = s.alloc(32, AllocKind::Host).unwrap();
+        let b = s.alloc(32, AllocKind::Device(0)).unwrap();
+        s.write_bytes(a, &[9u8; 32]).unwrap();
+        s.copy_bytes(b, a, 32).unwrap();
+        let mut out = [0u8; 32];
+        s.read_bytes(b, &mut out).unwrap();
+        assert_eq!(out, [9u8; 32]);
+    }
+
+    #[test]
+    fn live_accounting() {
+        let mut s = space();
+        let a = s.alloc(10, AllocKind::Managed).unwrap();
+        let _b = s.alloc(20, AllocKind::Managed).unwrap();
+        assert_eq!(s.live_count(), 2);
+        assert_eq!(s.live_bytes(), 30);
+        s.free(a).unwrap();
+        assert_eq!(s.live_count(), 1);
+        assert_eq!(s.live_bytes(), 20);
+    }
+
+    #[test]
+    fn find_cache_survives_free() {
+        let mut s = space();
+        let a = s.alloc(16, AllocKind::Managed).unwrap();
+        let mut out = [0u8; 1];
+        s.read_bytes(a, &mut out).unwrap(); // primes last_hit
+        s.free(a).unwrap();
+        assert!(s.read_bytes(a, &mut out).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! The instrumentation hook: the seam where XPlacer's runtime attaches.
+//!
+//! In the paper, the ROSE pass rewrites source so every heap access calls
+//! `traceR`/`traceW`/`traceRW` and every CUDA call goes through a wrapper.
+//! Here the simulated machine plays the role of the instrumented binary:
+//! when a hook is attached it invokes these callbacks at exactly the points
+//! the instrumented source would — per heap word access, per allocation,
+//! per copy, per kernel launch. Running with no hook attached corresponds
+//! to the uninstrumented baseline (Table III measures the difference).
+
+use crate::types::{Addr, AllocKind, CopyKind, Device};
+
+/// Observer of simulated memory events.
+pub trait MemHook {
+    /// A heap allocation of `size` bytes at `base` via `kind`.
+    fn on_alloc(&mut self, base: Addr, size: u64, kind: AllocKind);
+
+    /// `free`/`cudaFree` of the allocation at `base`.
+    fn on_free(&mut self, base: Addr);
+
+    /// A read of `size` bytes at `addr` by `dev` (maps to `traceR`).
+    fn on_read(&mut self, dev: Device, addr: Addr, size: u32);
+
+    /// A write of `size` bytes at `addr` by `dev` (maps to `traceW`).
+    fn on_write(&mut self, dev: Device, addr: Addr, size: u32);
+
+    /// A read-modify-write (maps to `traceRW`).
+    fn on_read_write(&mut self, dev: Device, addr: Addr, size: u32) {
+        self.on_read(dev, addr, size);
+        self.on_write(dev, addr, size);
+    }
+
+    /// An explicit `cudaMemcpy`.
+    fn on_memcpy(&mut self, dst: Addr, src: Addr, bytes: u64, kind: CopyKind);
+
+    /// A kernel launch (maps to the `replace kernel-launch` wrapper).
+    fn on_kernel_launch(&mut self, name: &str);
+
+    /// A kernel completed.
+    fn on_kernel_end(&mut self, name: &str) {
+        let _ = name;
+    }
+}
+
+/// A hook that counts events — useful for tests and overhead ablations.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CountingHook {
+    pub allocs: u64,
+    pub frees: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub rmws: u64,
+    pub memcpys: u64,
+    pub launches: u64,
+}
+
+impl MemHook for CountingHook {
+    fn on_alloc(&mut self, _base: Addr, _size: u64, _kind: AllocKind) {
+        self.allocs += 1;
+    }
+    fn on_free(&mut self, _base: Addr) {
+        self.frees += 1;
+    }
+    fn on_read(&mut self, _dev: Device, _addr: Addr, _size: u32) {
+        self.reads += 1;
+    }
+    fn on_write(&mut self, _dev: Device, _addr: Addr, _size: u32) {
+        self.writes += 1;
+    }
+    fn on_read_write(&mut self, _dev: Device, _addr: Addr, _size: u32) {
+        self.rmws += 1;
+    }
+    fn on_memcpy(&mut self, _dst: Addr, _src: Addr, _bytes: u64, _kind: CopyKind) {
+        self.memcpys += 1;
+    }
+    fn on_kernel_launch(&mut self, _name: &str) {
+        self.launches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_hook_counts() {
+        let mut h = CountingHook::default();
+        h.on_alloc(0x1000, 64, AllocKind::Managed);
+        h.on_read(Device::Cpu, 0x1000, 4);
+        h.on_write(Device::GPU0, 0x1004, 4);
+        h.on_read_write(Device::Cpu, 0x1008, 4);
+        h.on_memcpy(0x2000, 0x1000, 64, CopyKind::HostToDevice);
+        h.on_kernel_launch("k");
+        h.on_free(0x1000);
+        assert_eq!(
+            h,
+            CountingHook {
+                allocs: 1,
+                frees: 1,
+                reads: 1,
+                writes: 1,
+                rmws: 1,
+                memcpys: 1,
+                launches: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn default_rmw_decomposes_into_read_and_write() {
+        // A hook that doesn't override on_read_write sees a read + a write.
+        struct RW(u64, u64);
+        impl MemHook for RW {
+            fn on_alloc(&mut self, _: Addr, _: u64, _: AllocKind) {}
+            fn on_free(&mut self, _: Addr) {}
+            fn on_read(&mut self, _: Device, _: Addr, _: u32) {
+                self.0 += 1;
+            }
+            fn on_write(&mut self, _: Device, _: Addr, _: u32) {
+                self.1 += 1;
+            }
+            fn on_memcpy(&mut self, _: Addr, _: Addr, _: u64, _: CopyKind) {}
+            fn on_kernel_launch(&mut self, _: &str) {}
+        }
+        let mut h = RW(0, 0);
+        h.on_read_write(Device::Cpu, 0x1000, 8);
+        assert_eq!((h.0, h.1), (1, 1));
+    }
+}

@@ -1,0 +1,899 @@
+//! The simulated heterogeneous node: address space + UM driver + GPU
+//! memory + clock, behind a CUDA-flavoured API.
+//!
+//! Workloads and the MiniCU interpreter drive this facade. Every heap
+//! access is costed by the platform model and (when a hook is attached)
+//! reported to the XPlacer runtime, mirroring what the paper's
+//! source-instrumented binaries do on real hardware.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::alloc::{AddressSpace, Allocation};
+use crate::clock::{Clock, StreamId};
+use crate::error::{SimError, SimResult};
+use crate::gpumem::GpuMemory;
+use crate::hook::MemHook;
+use crate::platform::Platform;
+use crate::stats::Stats;
+use crate::types::{Addr, AllocKind, CopyKind, Device, MemAdvise, Scalar, TPtr};
+use crate::unified::UmDriver;
+
+/// Bandwidth of copies that stay on one side (host↔host, device↔device),
+/// in bytes per nanosecond.
+const LOCAL_COPY_BW: f64 = 50.0;
+
+/// Fixed cost of one allocation call.
+const ALLOC_NS: f64 = 1_500.0;
+
+/// What the machine is currently executing.
+enum ExecMode {
+    /// Host code: accesses come from the CPU and advance the host clock
+    /// directly.
+    Host,
+    /// Inside a kernel on `dev`: word/compute costs accumulate into a
+    /// parallelizable bucket, driver costs into a serial bucket; the total
+    /// is charged when the kernel ends.
+    Kernel {
+        dev: Device,
+        par_ns: f64,
+        serial_ns: f64,
+    },
+}
+
+/// The simulated node.
+pub struct Machine {
+    pf: Platform,
+    mem: AddressSpace,
+    um: UmDriver,
+    gpus: Vec<GpuMemory>,
+    /// Event counters (public: harnesses read them directly).
+    pub stats: Stats,
+    clock: Clock,
+    hook: Option<Rc<RefCell<dyn MemHook>>>,
+    mode: ExecMode,
+}
+
+impl Machine {
+    /// Build a node with one GPU from a platform preset.
+    pub fn new(platform: Platform) -> Self {
+        Self::with_gpus(platform, 1)
+    }
+
+    /// Build a node with `n_gpus` GPUs.
+    pub fn with_gpus(platform: Platform, n_gpus: usize) -> Self {
+        assert!(n_gpus >= 1, "at least one GPU");
+        let gpus = (0..n_gpus)
+            .map(|_| GpuMemory::new(platform.gpu_mem_bytes, platform.page_size))
+            .collect();
+        Machine {
+            mem: AddressSpace::new(platform.page_size),
+            um: UmDriver::new(platform.page_size),
+            gpus,
+            stats: Stats::default(),
+            clock: Clock::new(),
+            hook: None,
+            mode: ExecMode::Host,
+            pf: platform,
+        }
+    }
+
+    /// The platform this node models.
+    pub fn platform(&self) -> &Platform {
+        &self.pf
+    }
+
+    /// Shrink/grow GPU 0's physical memory (used by the oversubscription
+    /// experiments). Clears current residency.
+    pub fn set_gpu_mem_bytes(&mut self, bytes: u64) {
+        self.pf.gpu_mem_bytes = bytes;
+        self.gpus[0] = GpuMemory::new(bytes, self.pf.page_size);
+    }
+
+    /// Attach an instrumentation hook (the XPlacer tracer). The caller
+    /// keeps its own `Rc` to inspect the hook afterwards.
+    pub fn attach_hook(&mut self, hook: Rc<RefCell<dyn MemHook>>) {
+        self.hook = Some(hook);
+    }
+
+    /// Detach the hook; subsequent execution is "uninstrumented".
+    pub fn detach_hook(&mut self) {
+        self.hook = None;
+    }
+
+    /// Whether a hook is attached.
+    pub fn is_instrumented(&self) -> bool {
+        self.hook.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation API
+    // ------------------------------------------------------------------
+
+    /// `cudaMallocManaged`: unified memory visible to every device.
+    pub fn alloc_managed<T: Scalar>(&mut self, len: usize) -> TPtr<T> {
+        self.try_malloc((len * T::SIZE) as u64, AllocKind::Managed)
+            .map(|a| TPtr::new(a, len))
+            .expect("managed allocation failed")
+    }
+
+    /// `cudaMalloc` on GPU 0: device memory.
+    pub fn alloc_device<T: Scalar>(&mut self, len: usize) -> TPtr<T> {
+        self.try_malloc((len * T::SIZE) as u64, AllocKind::Device(0))
+            .map(|a| TPtr::new(a, len))
+            .expect("device allocation failed")
+    }
+
+    /// Host heap allocation (`malloc`/`new`).
+    pub fn alloc_host<T: Scalar>(&mut self, len: usize) -> TPtr<T> {
+        self.try_malloc((len * T::SIZE) as u64, AllocKind::Host)
+            .map(|a| TPtr::new(a, len))
+            .expect("host allocation failed")
+    }
+
+    /// Raw allocation entry point (the interpreter's `cudaMalloc` et al.).
+    pub fn try_malloc(&mut self, bytes: u64, kind: AllocKind) -> SimResult<Addr> {
+        let base = self.mem.alloc(bytes, kind)?;
+        self.um
+            .register_alloc(base, bytes, kind == AllocKind::Managed);
+        self.stats.allocs += 1;
+        self.clock.advance(ALLOC_NS);
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_alloc(base, bytes, kind);
+        }
+        Ok(base)
+    }
+
+    /// Free any allocation by its base address.
+    pub fn try_free(&mut self, base: Addr) -> SimResult<()> {
+        let size = self.mem.free(base)?;
+        self.um.release_range(base, size, &mut self.gpus);
+        self.stats.frees += 1;
+        self.clock.advance(ALLOC_NS);
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_free(base);
+        }
+        Ok(())
+    }
+
+    /// Free a typed pointer (panics on double free — programmer error in a
+    /// workload).
+    pub fn free<T: Scalar>(&mut self, p: TPtr<T>) {
+        self.try_free(p.addr).expect("free failed");
+    }
+
+    // ------------------------------------------------------------------
+    // Advice & explicit transfer
+    // ------------------------------------------------------------------
+
+    /// `cudaMemAdvise` over a typed range.
+    pub fn mem_advise<T: Scalar>(&mut self, p: TPtr<T>, advice: MemAdvise) {
+        self.try_mem_advise(p.addr, p.bytes(), advice)
+            .expect("mem_advise failed");
+    }
+
+    /// `cudaMemAdvise` over a raw byte range.
+    pub fn try_mem_advise(
+        &mut self,
+        addr: Addr,
+        bytes: u64,
+        advice: MemAdvise,
+    ) -> SimResult<()> {
+        let a = self.mem.find(addr, bytes.max(1))?;
+        if a.kind != AllocKind::Managed {
+            return Err(SimError::AdviseOnUnmanaged { addr });
+        }
+        self.um.advise(addr, bytes, advice);
+        Ok(())
+    }
+
+    /// `cudaMemPrefetchAsync`: proactively migrate a managed range to
+    /// `dst` on `stream`, avoiding later on-demand faults.
+    pub fn try_mem_prefetch(
+        &mut self,
+        addr: Addr,
+        bytes: u64,
+        dst: Device,
+        stream: StreamId,
+    ) -> SimResult<()> {
+        let a = self.mem.find(addr, bytes.max(1))?;
+        if a.kind != AllocKind::Managed {
+            return Err(SimError::AdviseOnUnmanaged { addr });
+        }
+        let cost = self
+            .um
+            .prefetch(&self.pf, &mut self.gpus, &mut self.stats, addr, bytes, dst);
+        self.clock.enqueue(stream, cost);
+        Ok(())
+    }
+
+    /// Typed wrapper over [`try_mem_prefetch`](Self::try_mem_prefetch) on
+    /// the default stream.
+    pub fn mem_prefetch<T: Scalar>(&mut self, p: TPtr<T>, dst: Device) {
+        self.try_mem_prefetch(p.addr, p.bytes(), dst, crate::clock::DEFAULT_STREAM)
+            .expect("mem_prefetch failed");
+        self.clock.sync_stream(crate::clock::DEFAULT_STREAM);
+    }
+
+    /// Synchronous `cudaMemcpy` of `bytes`.
+    pub fn try_memcpy(
+        &mut self,
+        dst: Addr,
+        src: Addr,
+        bytes: u64,
+        kind: CopyKind,
+    ) -> SimResult<()> {
+        self.validate_copy(dst, src, bytes, kind)?;
+        self.mem.copy_bytes(dst, src, bytes)?;
+        let dur = self.copy_cost(bytes, kind);
+        self.clock.advance(dur);
+        self.record_copy(dst, src, bytes, kind);
+        Ok(())
+    }
+
+    /// `cudaMemcpyAsync` on a stream; the host continues immediately.
+    pub fn try_memcpy_async(
+        &mut self,
+        dst: Addr,
+        src: Addr,
+        bytes: u64,
+        kind: CopyKind,
+        stream: StreamId,
+    ) -> SimResult<()> {
+        self.validate_copy(dst, src, bytes, kind)?;
+        // Data effects are applied eagerly; only the time is deferred.
+        self.mem.copy_bytes(dst, src, bytes)?;
+        let dur = self.copy_cost(bytes, kind);
+        if self.pf.async_pageable_copy_serializes && kind.crosses_interconnect() {
+            // Pageable-memory staging: the "async" copy blocks the host.
+            self.clock.advance(dur);
+        } else {
+            self.clock.enqueue(stream, dur);
+        }
+        self.record_copy(dst, src, bytes, kind);
+        Ok(())
+    }
+
+    /// Typed convenience wrapper over [`try_memcpy`](Self::try_memcpy).
+    pub fn memcpy<T: Scalar>(
+        &mut self,
+        dst: TPtr<T>,
+        src: TPtr<T>,
+        elems: usize,
+        kind: CopyKind,
+    ) {
+        self.try_memcpy(dst.addr, src.addr, (elems * T::SIZE) as u64, kind)
+            .expect("memcpy failed");
+    }
+
+    /// Typed convenience wrapper over
+    /// [`try_memcpy_async`](Self::try_memcpy_async).
+    pub fn memcpy_async<T: Scalar>(
+        &mut self,
+        dst: TPtr<T>,
+        src: TPtr<T>,
+        elems: usize,
+        kind: CopyKind,
+        stream: StreamId,
+    ) {
+        self.try_memcpy_async(dst.addr, src.addr, (elems * T::SIZE) as u64, kind, stream)
+            .expect("memcpy_async failed");
+    }
+
+    fn copy_cost(&self, bytes: u64, kind: CopyKind) -> f64 {
+        if kind.crosses_interconnect() {
+            self.pf.memcpy_latency_ns + self.pf.xfer_ns(bytes)
+        } else {
+            self.pf.memcpy_latency_ns * 0.1 + bytes as f64 / LOCAL_COPY_BW
+        }
+    }
+
+    fn validate_copy(&mut self, dst: Addr, src: Addr, bytes: u64, kind: CopyKind) -> SimResult<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let dk = self.mem.find(dst, bytes)?.kind;
+        let sk = self.mem.find(src, bytes)?.kind;
+        let dev_side = |k: AllocKind| matches!(k, AllocKind::Device(_));
+        let host_side = |k: AllocKind| k == AllocKind::Host;
+        let ok = match kind {
+            // Managed memory is reachable from either side, so it only
+            // conflicts with the *opposite* explicit kind.
+            CopyKind::HostToDevice => !dev_side(sk) && !host_side(dk),
+            CopyKind::DeviceToHost => !host_side(sk) && !dev_side(dk),
+            CopyKind::DeviceToDevice => !host_side(sk) && !host_side(dk),
+            CopyKind::HostToHost => !dev_side(sk) && !dev_side(dk),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(SimError::BadCopyDirection { dst, src })
+        }
+    }
+
+    fn record_copy(&mut self, dst: Addr, src: Addr, bytes: u64, kind: CopyKind) {
+        match kind {
+            CopyKind::HostToDevice => self.stats.memcpy_h2d += 1,
+            CopyKind::DeviceToHost => self.stats.memcpy_d2h += 1,
+            _ => {}
+        }
+        self.stats.memcpy_bytes += bytes;
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_memcpy(dst, src, bytes, kind);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Word accesses
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn cur_dev(&self) -> Device {
+        match self.mode {
+            ExecMode::Host => Device::Cpu,
+            ExecMode::Kernel { dev, .. } => dev,
+        }
+    }
+
+    /// Validate the access path and charge its cost.
+    #[inline]
+    fn pre_access(&mut self, dev: Device, addr: Addr, size: u64, write: bool) -> SimResult<()> {
+        let kind = self.mem.find_mut(addr, size)?.kind;
+        let mut serial = 0.0;
+        match kind {
+            AllocKind::Managed => {
+                let page = self.pf.page_of(addr);
+                let out =
+                    self.um
+                        .access(&self.pf, &mut self.gpus, &mut self.stats, dev, page, write);
+                serial = out.serial_ns;
+            }
+            AllocKind::Device(g) => {
+                if dev != Device::Gpu(g) {
+                    return Err(SimError::IllegalAccess { device: dev, addr });
+                }
+            }
+            AllocKind::Host => {
+                if dev != Device::Cpu {
+                    return Err(SimError::IllegalAccess { device: dev, addr });
+                }
+            }
+        }
+        let word = match dev {
+            Device::Cpu => self.pf.cpu_word_ns,
+            Device::Gpu(_) => self.pf.gpu_word_ns,
+        };
+        match &mut self.mode {
+            ExecMode::Host => self.clock.advance(word + serial),
+            ExecMode::Kernel {
+                par_ns, serial_ns, ..
+            } => {
+                *par_ns += word;
+                *serial_ns += serial;
+            }
+        }
+        match (dev, write) {
+            (Device::Cpu, false) => self.stats.cpu_reads += 1,
+            (Device::Cpu, true) => self.stats.cpu_writes += 1,
+            (Device::Gpu(_), false) => self.stats.gpu_reads += 1,
+            (Device::Gpu(_), true) => self.stats.gpu_writes += 1,
+        }
+        Ok(())
+    }
+
+    /// Read a scalar at a raw address on the current device.
+    pub fn try_read_scalar<T: Scalar>(&mut self, addr: Addr) -> SimResult<T> {
+        let dev = self.cur_dev();
+        self.pre_access(dev, addr, T::SIZE as u64, false)?;
+        let mut buf = [0u8; 16];
+        self.mem.read_bytes(addr, &mut buf[..T::SIZE])?;
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_read(dev, addr, T::SIZE as u32);
+        }
+        Ok(T::load_le(&buf[..T::SIZE]))
+    }
+
+    /// Write a scalar at a raw address on the current device.
+    pub fn try_write_scalar<T: Scalar>(&mut self, addr: Addr, v: T) -> SimResult<()> {
+        let dev = self.cur_dev();
+        self.pre_access(dev, addr, T::SIZE as u64, true)?;
+        let mut buf = [0u8; 16];
+        v.store_le(&mut buf[..T::SIZE]);
+        self.mem.write_bytes(addr, &buf[..T::SIZE])?;
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_write(dev, addr, T::SIZE as u32);
+        }
+        Ok(())
+    }
+
+    /// Read-modify-write a scalar at a raw address (one `traceRW` event).
+    pub fn try_rmw_scalar<T: Scalar>(
+        &mut self,
+        addr: Addr,
+        f: impl FnOnce(T) -> T,
+    ) -> SimResult<T> {
+        let dev = self.cur_dev();
+        // A RMW is one round trip plus a write: charge both directions.
+        self.pre_access(dev, addr, T::SIZE as u64, true)?;
+        let mut buf = [0u8; 16];
+        self.mem.read_bytes(addr, &mut buf[..T::SIZE])?;
+        let old = T::load_le(&buf[..T::SIZE]);
+        let new = f(old);
+        new.store_le(&mut buf[..T::SIZE]);
+        self.mem.write_bytes(addr, &buf[..T::SIZE])?;
+        match dev {
+            Device::Cpu => self.stats.cpu_reads += 1,
+            Device::Gpu(_) => self.stats.gpu_reads += 1,
+        }
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_read_write(dev, addr, T::SIZE as u32);
+        }
+        Ok(new)
+    }
+
+    /// Load element `i` of `p` (panics on access errors — these are bugs
+    /// in the simulated program, surfaced loudly in workloads).
+    #[inline]
+    pub fn ld<T: Scalar>(&mut self, p: TPtr<T>, i: usize) -> T {
+        match self.try_read_scalar(p.at(i)) {
+            Ok(v) => v,
+            Err(e) => panic!("load {p:?}[{i}]: {e}"),
+        }
+    }
+
+    /// Store `v` into element `i` of `p`.
+    #[inline]
+    pub fn st<T: Scalar>(&mut self, p: TPtr<T>, i: usize, v: T) {
+        if let Err(e) = self.try_write_scalar(p.at(i), v) {
+            panic!("store {p:?}[{i}]: {e}");
+        }
+    }
+
+    /// Read-modify-write element `i` of `p`, returning the new value.
+    #[inline]
+    pub fn rmw<T: Scalar>(&mut self, p: TPtr<T>, i: usize, f: impl FnOnce(T) -> T) -> T {
+        match self.try_rmw_scalar(p.at(i), f) {
+            Ok(v) => v,
+            Err(e) => panic!("rmw {p:?}[{i}]: {e}"),
+        }
+    }
+
+    /// Account `ops` arithmetic operations on the current device.
+    #[inline]
+    pub fn compute(&mut self, ops: u64) {
+        match &mut self.mode {
+            ExecMode::Host => self.clock.advance(ops as f64 * self.pf.cpu_flop_ns),
+            ExecMode::Kernel { par_ns, dev, .. } => {
+                debug_assert!(dev.is_gpu());
+                *par_ns += ops as f64 * self.pf.gpu_flop_ns;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Un-costed debug access (peek/poke)
+    // ------------------------------------------------------------------
+
+    /// Read backing bytes without costing, tracing, or paging — for test
+    /// assertions and building inputs.
+    pub fn peek<T: Scalar>(&mut self, p: TPtr<T>, i: usize) -> T {
+        let mut buf = [0u8; 16];
+        self.mem
+            .read_bytes(p.at(i), &mut buf[..T::SIZE])
+            .expect("peek failed");
+        T::load_le(&buf[..T::SIZE])
+    }
+
+    /// Write backing bytes without costing, tracing, or paging.
+    pub fn poke<T: Scalar>(&mut self, p: TPtr<T>, i: usize, v: T) {
+        let mut buf = [0u8; 16];
+        v.store_le(&mut buf[..T::SIZE]);
+        self.mem
+            .write_bytes(p.at(i), &buf[..T::SIZE])
+            .expect("poke failed");
+    }
+
+    // ------------------------------------------------------------------
+    // Kernels
+    // ------------------------------------------------------------------
+
+    /// Launch a kernel of `threads` threads synchronously on GPU 0. The
+    /// body runs once per thread with the machine in GPU execution mode.
+    pub fn launch(
+        &mut self,
+        name: &str,
+        threads: usize,
+        mut body: impl FnMut(usize, &mut Machine),
+    ) {
+        let dur = self.run_kernel(name, threads, &mut body);
+        self.clock.advance(dur);
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_kernel_end(name);
+        }
+    }
+
+    /// Launch a kernel asynchronously on `stream`; the host continues.
+    pub fn launch_async(
+        &mut self,
+        stream: StreamId,
+        name: &str,
+        threads: usize,
+        mut body: impl FnMut(usize, &mut Machine),
+    ) {
+        let dur = self.run_kernel(name, threads, &mut body);
+        self.clock.enqueue(stream, dur);
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_kernel_end(name);
+        }
+    }
+
+    fn run_kernel(
+        &mut self,
+        name: &str,
+        threads: usize,
+        body: &mut dyn FnMut(usize, &mut Machine),
+    ) -> f64 {
+        self.kernel_begin(name);
+        for t in 0..threads {
+            body(t, self);
+        }
+        self.kernel_finish()
+    }
+
+    /// Enter GPU execution mode explicitly (used by drivers that cannot
+    /// express the kernel as one closure, like the MiniCU interpreter).
+    /// Pair with [`kernel_finish`](Self::kernel_finish).
+    pub fn kernel_begin(&mut self, name: &str) {
+        assert!(
+            matches!(self.mode, ExecMode::Host),
+            "kernel launched from inside a kernel"
+        );
+        self.stats.kernel_launches += 1;
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_kernel_launch(name);
+        }
+        self.mode = ExecMode::Kernel {
+            dev: Device::GPU0,
+            par_ns: 0.0,
+            serial_ns: 0.0,
+        };
+    }
+
+    /// Leave GPU execution mode, returning the kernel's duration (without
+    /// advancing the clock — callers decide sync vs async).
+    pub fn kernel_finish(&mut self) -> f64 {
+        let (par, serial) = match self.mode {
+            ExecMode::Kernel {
+                par_ns, serial_ns, ..
+            } => (par_ns, serial_ns),
+            ExecMode::Host => panic!("kernel_finish outside a kernel"),
+        };
+        self.mode = ExecMode::Host;
+        self.pf.kernel_launch_ns + par / self.pf.gpu_parallelism + serial
+    }
+
+    /// Advance the host clock by an externally computed duration (e.g. a
+    /// kernel finished via [`kernel_finish`](Self::kernel_finish)).
+    pub fn advance_ns(&mut self, dt: f64) {
+        self.clock.advance(dt);
+    }
+
+    // ------------------------------------------------------------------
+    // Time
+    // ------------------------------------------------------------------
+
+    /// Current host time in nanoseconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Create a new stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.clock.create_stream()
+    }
+
+    /// Block the host on one stream (`cudaStreamSynchronize`). Charges the
+    /// host-side driver cost of the call on top of the waiting itself.
+    pub fn sync_stream(&mut self, s: StreamId) {
+        self.clock.sync_stream(s);
+        self.clock.advance(self.pf.stream_sync_ns);
+    }
+
+    /// `cudaDeviceSynchronize`: drain all streams, then report total time.
+    pub fn elapsed_ns(&mut self) -> f64 {
+        self.clock.sync_all();
+        self.clock.now()
+    }
+
+    /// Reset clock and counters (allocations survive).
+    pub fn reset_metrics(&mut self) {
+        self.clock.reset();
+        self.stats.reset();
+    }
+
+    /// Access the address space (diagnostics / interpreter).
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.mem
+    }
+
+    /// Find the allocation containing `addr` (for the interpreter's
+    /// pointer arithmetic checks).
+    pub fn find_alloc(&self, addr: Addr) -> SimResult<&Allocation> {
+        self.mem.find(addr, 1)
+    }
+
+    /// Inspect the UM page state of the page containing `addr`.
+    pub fn page_state(&self, addr: Addr) -> &crate::unified::PageState {
+        self.um.state(self.pf.page_of(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::CountingHook;
+    use crate::platform::{intel_pascal, power9_volta};
+
+    fn m() -> Machine {
+        Machine::new(intel_pascal())
+    }
+
+    #[test]
+    fn host_roundtrip_managed() {
+        let mut m = m();
+        let p = m.alloc_managed::<f64>(8);
+        m.st(p, 3, 2.5);
+        assert_eq!(m.ld(p, 3), 2.5);
+        assert_eq!(m.stats.cpu_writes, 1);
+        assert_eq!(m.stats.cpu_reads, 1);
+    }
+
+    #[test]
+    fn kernel_accesses_count_as_gpu() {
+        let mut m = m();
+        let p = m.alloc_managed::<f64>(16);
+        m.launch("init", 16, |t, m| {
+            m.st(p, t, t as f64);
+        });
+        assert_eq!(m.stats.gpu_writes, 16);
+        assert_eq!(m.stats.kernel_launches, 1);
+        assert_eq!(m.peek(p, 7), 7.0);
+    }
+
+    #[test]
+    fn cpu_cannot_touch_device_memory() {
+        let mut m = m();
+        let p = m.alloc_device::<f64>(4);
+        assert!(matches!(
+            m.try_read_scalar::<f64>(p.addr),
+            Err(SimError::IllegalAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn gpu_cannot_touch_host_memory() {
+        let mut m = m();
+        let p = m.alloc_host::<f64>(4);
+        let mut err = None;
+        m.launch("k", 1, |_, m| {
+            err = Some(m.try_read_scalar::<f64>(p.addr));
+        });
+        assert!(matches!(err, Some(Err(SimError::IllegalAccess { .. }))));
+    }
+
+    #[test]
+    fn memcpy_h2d_moves_data_and_costs_time() {
+        let mut m = m();
+        let h = m.alloc_host::<f64>(128);
+        let d = m.alloc_device::<f64>(128);
+        for i in 0..128 {
+            m.poke(h, i, i as f64);
+        }
+        let t0 = m.now();
+        m.memcpy(d, h, 128, CopyKind::HostToDevice);
+        assert!(m.now() > t0);
+        assert_eq!(m.stats.memcpy_h2d, 1);
+        assert_eq!(m.peek(d, 100), 100.0);
+    }
+
+    #[test]
+    fn memcpy_direction_validated() {
+        let mut m = m();
+        let h = m.alloc_host::<f64>(4);
+        let d = m.alloc_device::<f64>(4);
+        assert!(matches!(
+            m.try_memcpy(h.addr, d.addr, 32, CopyKind::HostToDevice),
+            Err(SimError::BadCopyDirection { .. })
+        ));
+    }
+
+    #[test]
+    fn advise_requires_managed() {
+        let mut m = m();
+        let h = m.alloc_host::<f64>(4);
+        assert!(matches!(
+            m.try_mem_advise(h.addr, 32, MemAdvise::SetReadMostly),
+            Err(SimError::AdviseOnUnmanaged { .. })
+        ));
+    }
+
+    #[test]
+    fn ping_pong_costs_more_than_read_mostly() {
+        // Micro version of the LULESH fix: alternating accesses vs the
+        // same pattern under ReadMostly.
+        fn run(advise: bool) -> (f64, u64) {
+            let mut m = Machine::new(intel_pascal());
+            let p = m.alloc_managed::<f64>(8);
+            if advise {
+                m.mem_advise(p, MemAdvise::SetReadMostly);
+            }
+            m.st(p, 0, 1.0); // CPU writes once
+            m.reset_metrics();
+            for _ in 0..50 {
+                m.launch("read_dom", 1, |_, m| {
+                    let _ = m.ld(p, 0);
+                });
+                let _ = m.ld(p, 1); // CPU read in between
+            }
+            (m.elapsed_ns(), m.stats.faults())
+        }
+        let (t_base, f_base) = run(false);
+        let (t_rm, f_rm) = run(true);
+        assert!(f_rm < f_base);
+        assert!(t_rm < t_base / 2.0, "ReadMostly should be >2x faster here");
+    }
+
+    #[test]
+    fn nvlink_baseline_cheaper_than_pcie_for_alternating() {
+        fn run(pf: Platform) -> f64 {
+            let mut m = Machine::new(pf);
+            let p = m.alloc_managed::<f64>(8);
+            m.st(p, 0, 1.0);
+            m.reset_metrics();
+            for _ in 0..50 {
+                m.launch("k", 1, |_, m| {
+                    m.st(p, 0, 2.0);
+                });
+                let _ = m.ld(p, 0);
+            }
+            m.elapsed_ns()
+        }
+        let pcie = run(intel_pascal());
+        let nvlink = run(power9_volta());
+        assert!(nvlink < pcie / 2.0);
+    }
+
+    #[test]
+    fn hook_sees_all_events() {
+        let mut m = m();
+        let h = Rc::new(RefCell::new(CountingHook::default()));
+        m.attach_hook(h.clone());
+        let p = m.alloc_managed::<f64>(4);
+        m.st(p, 0, 1.0);
+        let _ = m.ld(p, 0);
+        m.rmw(p, 0, |v: f64| v + 1.0);
+        m.launch("k", 2, |t, m| {
+            let _ = m.ld(p, t);
+        });
+        m.free(p);
+        let c = h.borrow();
+        assert_eq!(c.allocs, 1);
+        assert_eq!(c.frees, 1);
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.reads, 3); // 1 host + 2 kernel
+        assert_eq!(c.rmws, 1);
+        assert_eq!(c.launches, 1);
+    }
+
+    #[test]
+    fn rmw_applies_function() {
+        let mut m = m();
+        let p = m.alloc_managed::<i32>(1);
+        m.st(p, 0, 41);
+        let v = m.rmw(p, 0, |x: i32| x + 1);
+        assert_eq!(v, 42);
+        assert_eq!(m.peek(p, 0), 42);
+    }
+
+    #[test]
+    fn kernel_time_scales_with_parallelism_bucket() {
+        let mut m = m();
+        let p = m.alloc_managed::<f64>(100_000);
+        // Touch everything once on the GPU first so later kernels are
+        // fault-free.
+        m.launch("warm", 100_000, |t, m| m.st(p, t, 0.0));
+        m.reset_metrics();
+        m.launch("small", 1_000, |t, m| {
+            let _ = m.ld(p, t);
+        });
+        let t_small = m.elapsed_ns();
+        m.reset_metrics();
+        m.launch("big", 100_000, |t, m| {
+            let _ = m.ld(p, t);
+        });
+        let t_big = m.elapsed_ns();
+        assert!(t_big > t_small);
+        // 100x the work is far less than 100x the time (fixed launch cost,
+        // parallel lanes).
+        assert!(t_big < t_small * 100.0);
+    }
+
+    #[test]
+    fn async_overlap_beats_sync() {
+        // Total time for copy+kernel pairs with and without streams.
+        fn run(overlap: bool) -> f64 {
+            let mut m = Machine::new(intel_pascal());
+            let h = m.alloc_host::<f64>(1 << 16);
+            let d = m.alloc_device::<f64>(1 << 16);
+            let chunk = 1 << 12;
+            let copy_s = m.create_stream();
+            let comp_s = m.create_stream();
+            for it in 0..8 {
+                let off = it * chunk;
+                if overlap {
+                    m.memcpy_async(
+                        d.slice(off, chunk),
+                        h.slice(off, chunk),
+                        chunk,
+                        CopyKind::HostToDevice,
+                        copy_s,
+                    );
+                    m.launch_async(comp_s, "work", 4096, |t, m| {
+                        let _ = m.ld(d, t % chunk);
+                        m.compute(50);
+                    });
+                } else {
+                    m.memcpy(
+                        d.slice(off, chunk),
+                        h.slice(off, chunk),
+                        chunk,
+                        CopyKind::HostToDevice,
+                    );
+                    m.launch("work", 4096, |t, m| {
+                        let _ = m.ld(d, t % chunk);
+                        m.compute(50);
+                    });
+                }
+            }
+            m.elapsed_ns()
+        }
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn prefetch_avoids_kernel_faults() {
+        let mut m = m();
+        let p = m.alloc_managed::<f64>(64 * 1024); // several pages
+        for i in 0..p.len {
+            m.st(p, i, 1.0);
+        }
+        m.reset_metrics();
+        m.mem_prefetch(p, Device::GPU0);
+        let migrated = m.stats.migrations_h2d;
+        assert!(migrated > 0);
+        m.launch("k", p.len, |t, m| {
+            let _ = m.ld(p, t);
+        });
+        assert_eq!(m.stats.gpu_faults, 0, "prefetched pages must not fault");
+    }
+
+    #[test]
+    fn prefetch_requires_managed_memory() {
+        let mut m = m();
+        let p = m.alloc_device::<f64>(8);
+        assert!(matches!(
+            m.try_mem_prefetch(p.addr, p.bytes(), Device::GPU0, crate::clock::DEFAULT_STREAM),
+            Err(SimError::AdviseOnUnmanaged { .. })
+        ));
+    }
+
+    #[test]
+    fn page_state_visible() {
+        let mut m = m();
+        let p = m.alloc_managed::<f64>(4);
+        m.st(p, 0, 1.0);
+        assert_eq!(m.page_state(p.addr).owner, Device::Cpu);
+        m.launch("k", 1, |_, m| m.st(p, 0, 2.0));
+        assert_eq!(m.page_state(p.addr).owner, Device::GPU0);
+    }
+}

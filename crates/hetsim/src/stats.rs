@@ -1,0 +1,185 @@
+//! Event counters the simulator accumulates — the simulated analogue of
+//! the OS/CUPTI performance counters the paper correlates its diagnostics
+//! against (page fault groups, migrated bytes, ...).
+
+/// Counter block. Everything is monotonically increasing until `reset`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Page faults taken by the CPU on managed memory.
+    pub cpu_faults: u64,
+    /// Page faults taken by a GPU on managed memory.
+    pub gpu_faults: u64,
+    /// Pages migrated host → device.
+    pub migrations_h2d: u64,
+    /// Pages migrated device → host.
+    pub migrations_d2h: u64,
+    /// Total bytes moved by page migration (both directions).
+    pub bytes_migrated: u64,
+    /// Read-duplications performed for ReadMostly pages.
+    pub duplications: u64,
+    /// Copy invalidations caused by writes to ReadMostly pages.
+    pub invalidations: u64,
+    /// Pages evicted from GPU memory due to oversubscription.
+    pub evictions: u64,
+    /// Bytes written back by evictions.
+    pub bytes_evicted: u64,
+    /// Word accesses served through a remote mapping (no migration).
+    pub remote_accesses: u64,
+    /// Explicit host→device copies.
+    pub memcpy_h2d: u64,
+    /// Explicit device→host copies.
+    pub memcpy_d2h: u64,
+    /// Total bytes moved by explicit copies.
+    pub memcpy_bytes: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+    /// Word reads performed by the CPU.
+    pub cpu_reads: u64,
+    /// Word writes performed by the CPU.
+    pub cpu_writes: u64,
+    /// Word reads performed by GPUs.
+    pub gpu_reads: u64,
+    /// Word writes performed by GPUs.
+    pub gpu_writes: u64,
+    /// Live allocations created.
+    pub allocs: u64,
+    /// Allocations freed.
+    pub frees: u64,
+}
+
+impl Stats {
+    /// Total page faults on either side.
+    pub fn faults(&self) -> u64 {
+        self.cpu_faults + self.gpu_faults
+    }
+
+    /// Total page migrations in either direction.
+    pub fn migrations(&self) -> u64 {
+        self.migrations_h2d + self.migrations_d2h
+    }
+
+    /// Total word accesses from either side.
+    pub fn accesses(&self) -> u64 {
+        self.cpu_reads + self.cpu_writes + self.gpu_reads + self.gpu_writes
+    }
+
+    /// Zero every counter.
+    pub fn reset(&mut self) {
+        *self = Stats::default();
+    }
+
+    /// Difference `self - earlier`, for measuring a phase. Saturates at 0
+    /// so a reset in between does not underflow.
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        macro_rules! d {
+            ($f:ident) => {
+                self.$f.saturating_sub(earlier.$f)
+            };
+        }
+        Stats {
+            cpu_faults: d!(cpu_faults),
+            gpu_faults: d!(gpu_faults),
+            migrations_h2d: d!(migrations_h2d),
+            migrations_d2h: d!(migrations_d2h),
+            bytes_migrated: d!(bytes_migrated),
+            duplications: d!(duplications),
+            invalidations: d!(invalidations),
+            evictions: d!(evictions),
+            bytes_evicted: d!(bytes_evicted),
+            remote_accesses: d!(remote_accesses),
+            memcpy_h2d: d!(memcpy_h2d),
+            memcpy_d2h: d!(memcpy_d2h),
+            memcpy_bytes: d!(memcpy_bytes),
+            kernel_launches: d!(kernel_launches),
+            cpu_reads: d!(cpu_reads),
+            cpu_writes: d!(cpu_writes),
+            gpu_reads: d!(gpu_reads),
+            gpu_writes: d!(gpu_writes),
+            allocs: d!(allocs),
+            frees: d!(frees),
+        }
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "faults: cpu={} gpu={} | migrations: h2d={} d2h={} ({} B) | \
+             dup={} inval={} evict={} ({} B) remote={} | \
+             memcpy: h2d={} d2h={} ({} B) | kernels={} | \
+             accesses: Cr={} Cw={} Gr={} Gw={} | allocs={} frees={}",
+            self.cpu_faults,
+            self.gpu_faults,
+            self.migrations_h2d,
+            self.migrations_d2h,
+            self.bytes_migrated,
+            self.duplications,
+            self.invalidations,
+            self.evictions,
+            self.bytes_evicted,
+            self.remote_accesses,
+            self.memcpy_h2d,
+            self.memcpy_d2h,
+            self.memcpy_bytes,
+            self.kernel_launches,
+            self.cpu_reads,
+            self.cpu_writes,
+            self.gpu_reads,
+            self.gpu_writes,
+            self.allocs,
+            self.frees,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let s = Stats {
+            cpu_faults: 3,
+            gpu_faults: 4,
+            migrations_h2d: 1,
+            migrations_d2h: 2,
+            cpu_reads: 10,
+            cpu_writes: 20,
+            gpu_reads: 30,
+            gpu_writes: 40,
+            ..Stats::default()
+        };
+        assert_eq!(s.faults(), 7);
+        assert_eq!(s.migrations(), 3);
+        assert_eq!(s.accesses(), 100);
+    }
+
+    #[test]
+    fn since_subtracts_and_saturates() {
+        let mut a = Stats::default();
+        a.cpu_faults = 10;
+        a.gpu_reads = 5;
+        let mut b = a.clone();
+        b.cpu_faults = 25;
+        b.gpu_reads = 3; // pretend a reset happened
+        let d = b.since(&a);
+        assert_eq!(d.cpu_faults, 15);
+        assert_eq!(d.gpu_reads, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = Stats::default();
+        s.kernel_launches = 9;
+        s.reset();
+        assert_eq!(s, Stats::default());
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let mut s = Stats::default();
+        s.gpu_faults = 42;
+        let txt = s.summary();
+        assert!(txt.contains("gpu=42"));
+        assert!(txt.contains("kernels=0"));
+    }
+}

@@ -1,0 +1,657 @@
+//! The unified-memory driver: page states, on-demand migration,
+//! read-duplication, remote mappings, and the `cudaMemAdvise` policies
+//! (paper §II-A/§II-B).
+//!
+//! This is the component whose hidden data movement the paper's
+//! anti-patterns describe: alternating CPU/GPU accesses bounce pages back
+//! and forth here, and every bounce costs a fault plus a page transfer.
+
+use crate::alloc::HEAP_BASE;
+use crate::gpumem::GpuMemory;
+use crate::platform::Platform;
+use crate::stats::Stats;
+use crate::types::{Device, DeviceSet, MemAdvise};
+
+/// Per-page coherence and advice state.
+#[derive(Debug, Clone)]
+pub struct PageState {
+    /// Whether the page belongs to a `cudaMallocManaged` allocation (only
+    /// managed pages participate in UM paging).
+    pub managed: bool,
+    /// Device holding the authoritative copy.
+    pub owner: Device,
+    /// Devices holding a valid copy (always includes `owner`).
+    pub copies: DeviceSet,
+    /// Devices with a remote mapping established (access without
+    /// migration, at interconnect word cost).
+    pub mapped: DeviceSet,
+    /// `cudaMemAdviseSetReadMostly` in effect.
+    pub read_mostly: bool,
+    /// `cudaMemAdviseSetPreferredLocation` target, if set.
+    pub preferred: Option<Device>,
+    /// Devices named by `cudaMemAdviseSetAccessedBy`.
+    pub accessed_by: DeviceSet,
+}
+
+impl Default for PageState {
+    fn default() -> Self {
+        PageState {
+            managed: false,
+            owner: Device::Cpu,
+            copies: DeviceSet::single(Device::Cpu),
+            mapped: DeviceSet::EMPTY,
+            read_mostly: false,
+            preferred: None,
+            accessed_by: DeviceSet::EMPTY,
+        }
+    }
+}
+
+/// Outcome of one driver access, for the caller's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccessOutcome {
+    /// Serial (non-parallelizable) cost in nanoseconds: fault service,
+    /// page movement, invalidations, remote word transfer.
+    pub serial_ns: f64,
+    /// The access faulted.
+    pub fault: bool,
+    /// The access was served through a remote mapping.
+    pub remote: bool,
+    /// The access migrated the page.
+    pub migrated: bool,
+}
+
+/// The driver: a dense page table covering the bump-allocated heap.
+pub struct UmDriver {
+    page_size: u64,
+    base_page: u64,
+    pages: Vec<PageState>,
+}
+
+impl UmDriver {
+    pub fn new(page_size: u64) -> Self {
+        UmDriver {
+            page_size,
+            base_page: HEAP_BASE / page_size,
+            pages: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, page: u64) -> usize {
+        debug_assert!(page >= self.base_page, "page below heap base");
+        (page - self.base_page) as usize
+    }
+
+    /// Register the pages of a fresh allocation. Managed pages start owned
+    /// by the CPU (the allocating side populates them on first touch).
+    pub fn register_alloc(&mut self, base: u64, size: u64, managed: bool) {
+        let first = base / self.page_size;
+        let last = (base + size.max(1) - 1) / self.page_size;
+        let need = self.idx(last) + 1;
+        if self.pages.len() < need {
+            self.pages.resize_with(need, PageState::default);
+        }
+        for p in first..=last {
+            let i = self.idx(p);
+            self.pages[i] = PageState {
+                managed,
+                ..PageState::default()
+            };
+        }
+    }
+
+    /// Release page state when an allocation is freed; resident copies are
+    /// dropped from device memory.
+    pub fn release_range(&mut self, base: u64, size: u64, gpus: &mut [GpuMemory]) {
+        let first = base / self.page_size;
+        let last = (base + size.max(1) - 1) / self.page_size;
+        for p in first..=last {
+            let i = self.idx(p);
+            if i < self.pages.len() {
+                for (g, gpu) in gpus.iter_mut().enumerate() {
+                    if self.pages[i].copies.contains(Device::Gpu(g as u8)) {
+                        gpu.release(p);
+                    }
+                }
+                self.pages[i] = PageState::default();
+            }
+        }
+    }
+
+    /// Inspect a page's state (test/diagnostic use).
+    pub fn state(&self, page: u64) -> &PageState {
+        &self.pages[self.idx(page)]
+    }
+
+    /// Apply `cudaMemAdvise` to an address range (must be managed — the
+    /// caller validates the allocation kind).
+    pub fn advise(&mut self, base: u64, size: u64, advice: MemAdvise) {
+        let first = base / self.page_size;
+        let last = (base + size.max(1) - 1) / self.page_size;
+        for p in first..=last {
+            let i = self.idx(p);
+            let st = &mut self.pages[i];
+            match advice {
+                MemAdvise::SetReadMostly => st.read_mostly = true,
+                MemAdvise::UnsetReadMostly => {
+                    st.read_mostly = false;
+                    // Collapse duplicated copies back to the owner.
+                    st.copies = DeviceSet::single(st.owner);
+                }
+                MemAdvise::SetPreferredLocation(d) => st.preferred = Some(d),
+                MemAdvise::UnsetPreferredLocation => st.preferred = None,
+                MemAdvise::SetAccessedBy(d) => {
+                    st.accessed_by.insert(d);
+                    // "Causes the data to be always mapped in the specified
+                    // processor's page tables" (§II-B).
+                    if !st.copies.contains(d) {
+                        st.mapped.insert(d);
+                    }
+                }
+                MemAdvise::UnsetAccessedBy(d) => {
+                    st.accessed_by.remove(d);
+                    st.mapped.remove(d);
+                }
+            }
+        }
+    }
+
+    /// Handle one word access by `dev` to managed `page`.
+    ///
+    /// Returns the serial cost of whatever the driver had to do; the local
+    /// word cost itself is charged by the machine.
+    pub fn access(
+        &mut self,
+        pf: &Platform,
+        gpus: &mut [GpuMemory],
+        stats: &mut Stats,
+        dev: Device,
+        page: u64,
+        write: bool,
+    ) -> AccessOutcome {
+        let i = self.idx(page);
+        let st = &self.pages[i];
+        debug_assert!(st.managed, "driver access to unmanaged page");
+
+        // Fast path: local copy, no coherence action needed.
+        if st.copies.contains(dev) && (!write || st.copies.len() == 1) {
+            if write && st.owner != dev {
+                self.pages[i].owner = dev;
+            }
+            return AccessOutcome::default();
+        }
+
+        let mut out = AccessOutcome::default();
+
+        if st.copies.contains(dev) && write {
+            // Write to a read-duplicated page: invalidate all other copies
+            // ("only the page where the write occurred will be valid").
+            out.serial_ns += self.invalidate_others(i, page, dev, pf, gpus, stats);
+            return out;
+        }
+
+        if st.mapped.contains(dev) {
+            // Established remote mapping: access over the interconnect,
+            // no fault, no migration.
+            out.serial_ns += pf.remote_word_ns;
+            out.remote = true;
+            stats.remote_accesses += 1;
+            return out;
+        }
+
+        // Fault path.
+        out.fault = true;
+        match dev {
+            Device::Cpu => stats.cpu_faults += 1,
+            Device::Gpu(_) => stats.gpu_faults += 1,
+        }
+
+        if !write && st.read_mostly {
+            // Duplicate a read-only copy into the faulting processor.
+            out.serial_ns += pf.fault_ns + pf.xfer_ns(pf.page_size);
+            stats.duplications += 1;
+            if let Device::Gpu(g) = dev {
+                out.serial_ns += self.make_resident(i, page, g, pf, gpus, stats);
+            }
+            let st = &mut self.pages[i];
+            st.copies.insert(dev);
+            st.mapped.remove(dev);
+            return out;
+        }
+
+        let preferred_elsewhere = match st.preferred {
+            Some(p) => p != dev && st.copies.contains(p),
+            None => false,
+        };
+        if preferred_elsewhere {
+            // "The faulting processor will try to directly establish a
+            // mapping to the region without causing page migration."
+            out.serial_ns += pf.fault_ns * 0.25 + pf.map_ns + pf.remote_word_ns;
+            out.remote = true;
+            stats.remote_accesses += 1;
+            self.pages[i].mapped.insert(dev);
+            return out;
+        }
+
+        if dev == Device::Cpu && pf.cpu_direct_access_gpu && st.owner.is_gpu() {
+            // NVLink coherence: the CPU maps GPU-resident pages instead of
+            // pulling them back (the key platform difference behind the
+            // paper's Fig. 6 IBM results).
+            out.serial_ns += pf.map_ns + pf.remote_word_ns;
+            out.remote = true;
+            stats.remote_accesses += 1;
+            self.pages[i].mapped.insert(Device::Cpu);
+            return out;
+        }
+
+        // Default policy: migrate the page to the faulting processor.
+        out.serial_ns += pf.page_migration_ns();
+        out.migrated = true;
+        stats.bytes_migrated += pf.page_size;
+        if dev.is_gpu() {
+            stats.migrations_h2d += 1;
+        } else {
+            stats.migrations_d2h += 1;
+        }
+        // Drop residency of copies that are going away.
+        let old_copies = self.pages[i].copies;
+        for d in old_copies.iter() {
+            if let Device::Gpu(g) = d {
+                if d != dev {
+                    gpus[g as usize].release(page);
+                }
+            }
+        }
+        if let Device::Gpu(g) = dev {
+            out.serial_ns += self.make_resident(i, page, g, pf, gpus, stats);
+        }
+        let st = &mut self.pages[i];
+        st.owner = dev;
+        st.copies = DeviceSet::single(dev);
+        st.mapped.remove(dev);
+        // AccessedBy devices keep their mappings across migration.
+        let accessed_by = st.accessed_by;
+        for d in accessed_by.iter() {
+            if d != dev {
+                self.pages[i].mapped.insert(d);
+            }
+        }
+        out
+    }
+
+    /// Invalidate all copies of page `i` other than `keeper`'s.
+    fn invalidate_others(
+        &mut self,
+        i: usize,
+        page: u64,
+        keeper: Device,
+        pf: &Platform,
+        gpus: &mut [GpuMemory],
+        stats: &mut Stats,
+    ) -> f64 {
+        let mut cost = 0.0;
+        let copies = self.pages[i].copies;
+        for d in copies.iter() {
+            if d == keeper {
+                continue;
+            }
+            cost += pf.invalidate_ns;
+            stats.invalidations += 1;
+            if let Device::Gpu(g) = d {
+                gpus[g as usize].release(page);
+            }
+        }
+        let st = &mut self.pages[i];
+        st.copies = DeviceSet::single(keeper);
+        st.owner = keeper;
+        cost
+    }
+
+    /// Insert `page` into GPU `g`'s memory, handling any evictions that
+    /// makes necessary. Returns the eviction cost.
+    fn make_resident(
+        &mut self,
+        _i: usize,
+        page: u64,
+        g: u8,
+        pf: &Platform,
+        gpus: &mut [GpuMemory],
+        stats: &mut Stats,
+    ) -> f64 {
+        let evicted = gpus[g as usize].insert(page);
+        let mut cost = 0.0;
+        for e in evicted {
+            let ei = self.idx(e);
+            let st = &mut self.pages[ei];
+            stats.evictions += 1;
+            if st.owner == Device::Gpu(g) {
+                // Dirty page: write back to host.
+                cost += pf.xfer_ns(pf.page_size);
+                stats.bytes_evicted += pf.page_size;
+                stats.migrations_d2h += 1;
+                stats.bytes_migrated += pf.page_size;
+                st.owner = Device::Cpu;
+                st.copies = DeviceSet::single(Device::Cpu);
+            } else {
+                // Clean duplicated copy: just drop it.
+                st.copies.remove(Device::Gpu(g));
+                if st.copies.is_empty() {
+                    st.copies = DeviceSet::single(st.owner);
+                }
+            }
+        }
+        cost
+    }
+
+    /// `cudaMemPrefetchAsync` semantics: proactively migrate the pages of
+    /// a range to `dst` without fault latency. Returns the serial cost
+    /// (data movement + any evictions) so the caller can schedule it on a
+    /// stream.
+    pub fn prefetch(
+        &mut self,
+        pf: &Platform,
+        gpus: &mut [GpuMemory],
+        stats: &mut Stats,
+        base: u64,
+        size: u64,
+        dst: Device,
+    ) -> f64 {
+        let first = base / self.page_size;
+        let last = (base + size.max(1) - 1) / self.page_size;
+        let mut cost = 0.0;
+        for page in first..=last {
+            let i = self.idx(page);
+            let st = &self.pages[i];
+            if !st.managed || st.copies.contains(dst) {
+                continue;
+            }
+            cost += pf.xfer_ns(pf.page_size);
+            stats.bytes_migrated += pf.page_size;
+            if dst.is_gpu() {
+                stats.migrations_h2d += 1;
+            } else {
+                stats.migrations_d2h += 1;
+            }
+            let old_copies = self.pages[i].copies;
+            for d in old_copies.iter() {
+                if let Device::Gpu(g) = d {
+                    if d != dst {
+                        gpus[g as usize].release(page);
+                    }
+                }
+            }
+            if let Device::Gpu(g) = dst {
+                cost += self.make_resident(i, page, g, pf, gpus, stats);
+            }
+            let st = &mut self.pages[i];
+            st.owner = dst;
+            st.copies = DeviceSet::single(dst);
+            st.mapped.remove(dst);
+            let accessed_by = st.accessed_by;
+            for d in accessed_by.iter() {
+                if d != dst {
+                    self.pages[i].mapped.insert(d);
+                }
+            }
+        }
+        cost
+    }
+
+    /// Page size this driver was configured with.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::intel_pascal;
+
+    struct Fixture {
+        pf: Platform,
+        drv: UmDriver,
+        gpus: Vec<GpuMemory>,
+        stats: Stats,
+        base: u64,
+    }
+
+    fn fixture() -> Fixture {
+        fixture_with_gpu_pages(1024)
+    }
+
+    fn fixture_with_gpu_pages(gpu_pages: u64) -> Fixture {
+        let pf = intel_pascal();
+        let mut drv = UmDriver::new(pf.page_size);
+        let gpus = vec![GpuMemory::new(gpu_pages * pf.page_size, pf.page_size)];
+        let base = HEAP_BASE;
+        drv.register_alloc(base, 4 * pf.page_size, true);
+        Fixture {
+            pf,
+            drv,
+            gpus,
+            stats: Stats::default(),
+            base,
+        }
+    }
+
+    impl Fixture {
+        fn page(&self, n: u64) -> u64 {
+            self.base / self.pf.page_size + n
+        }
+        fn access(&mut self, dev: Device, page: u64, write: bool) -> AccessOutcome {
+            self.drv
+                .access(&self.pf, &mut self.gpus, &mut self.stats, dev, page, write)
+        }
+    }
+
+    const GPU: Device = Device::GPU0;
+
+    #[test]
+    fn first_cpu_touch_is_free_gpu_touch_faults() {
+        let mut f = fixture();
+        let p = f.page(0);
+        let o = f.access(Device::Cpu, p, true);
+        assert_eq!(o, AccessOutcome::default());
+        let o = f.access(GPU, p, false);
+        assert!(o.fault && o.migrated);
+        assert_eq!(f.stats.gpu_faults, 1);
+        assert_eq!(f.stats.migrations_h2d, 1);
+        assert_eq!(f.drv.state(p).owner, GPU);
+    }
+
+    #[test]
+    fn repeated_gpu_access_hits_after_migration() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.access(GPU, p, false);
+        let o = f.access(GPU, p, false);
+        assert_eq!(o, AccessOutcome::default());
+        assert_eq!(f.stats.gpu_faults, 1);
+    }
+
+    #[test]
+    fn alternating_accesses_ping_pong_pages() {
+        // The paper's anti-pattern #1: each side's touch migrates the page.
+        let mut f = fixture();
+        let p = f.page(0);
+        for _ in 0..5 {
+            f.access(GPU, p, false);
+            f.access(Device::Cpu, p, true);
+        }
+        assert_eq!(f.stats.gpu_faults, 5);
+        assert_eq!(f.stats.cpu_faults, 5);
+        assert_eq!(f.stats.migrations(), 10);
+    }
+
+    #[test]
+    fn read_mostly_duplicates_and_stops_ping_pong() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.drv
+            .advise(f.base, f.pf.page_size, MemAdvise::SetReadMostly);
+        f.access(Device::Cpu, p, false);
+        let o = f.access(GPU, p, false);
+        assert!(o.fault);
+        assert_eq!(f.stats.duplications, 1);
+        // Both now read without faults.
+        assert_eq!(f.access(Device::Cpu, p, false), AccessOutcome::default());
+        assert_eq!(f.access(GPU, p, false), AccessOutcome::default());
+        assert!(f.drv.state(p).copies.contains(Device::Cpu));
+        assert!(f.drv.state(p).copies.contains(GPU));
+    }
+
+    #[test]
+    fn write_to_read_mostly_invalidates_other_copies() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.drv
+            .advise(f.base, f.pf.page_size, MemAdvise::SetReadMostly);
+        f.access(Device::Cpu, p, false);
+        f.access(GPU, p, false); // duplicate
+        let o = f.access(Device::Cpu, p, true); // CPU write invalidates GPU copy
+        assert!(o.serial_ns > 0.0);
+        assert_eq!(f.stats.invalidations, 1);
+        assert_eq!(f.drv.state(p).copies.len(), 1);
+        assert_eq!(f.drv.state(p).owner, Device::Cpu);
+        // GPU read must re-duplicate.
+        let o = f.access(GPU, p, false);
+        assert!(o.fault);
+        assert_eq!(f.stats.duplications, 2);
+    }
+
+    #[test]
+    fn preferred_location_maps_instead_of_migrating() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.drv.advise(
+            f.base,
+            f.pf.page_size,
+            MemAdvise::SetPreferredLocation(Device::Cpu),
+        );
+        f.access(Device::Cpu, p, true);
+        let o = f.access(GPU, p, false);
+        assert!(o.fault && o.remote && !o.migrated);
+        assert_eq!(f.drv.state(p).owner, Device::Cpu);
+        // Subsequent GPU accesses go remote without faulting.
+        let o = f.access(GPU, p, false);
+        assert!(o.remote && !o.fault);
+        assert_eq!(f.stats.remote_accesses, 2);
+    }
+
+    #[test]
+    fn accessed_by_establishes_mapping_without_migration() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.access(Device::Cpu, p, true);
+        f.drv
+            .advise(f.base, f.pf.page_size, MemAdvise::SetAccessedBy(GPU));
+        let o = f.access(GPU, p, false);
+        assert!(o.remote && !o.fault && !o.migrated);
+        assert_eq!(f.drv.state(p).owner, Device::Cpu);
+    }
+
+    #[test]
+    fn accessed_by_mapping_survives_migration() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.drv
+            .advise(f.base, f.pf.page_size, MemAdvise::SetAccessedBy(Device::Cpu));
+        // GPU write migrates the page to the GPU...
+        let o = f.access(GPU, p, true);
+        assert!(o.migrated);
+        // ...but the CPU keeps a mapping, so it reads remotely, no fault.
+        let o = f.access(Device::Cpu, p, false);
+        assert!(o.remote && !o.fault);
+    }
+
+    #[test]
+    fn nvlink_cpu_reads_gpu_pages_remotely() {
+        let mut f = fixture();
+        f.pf = crate::platform::power9_volta();
+        let p = f.page(0);
+        f.access(GPU, p, true); // GPU-owned now
+        let o = f.access(Device::Cpu, p, false);
+        assert!(o.remote && !o.migrated);
+        assert_eq!(f.drv.state(p).owner, GPU);
+        // Second CPU read uses the established mapping without a fault.
+        let o = f.access(Device::Cpu, p, false);
+        assert!(o.remote && !o.fault);
+    }
+
+    #[test]
+    fn pcie_cpu_touch_pulls_page_back() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.access(GPU, p, true);
+        let o = f.access(Device::Cpu, p, false);
+        assert!(o.migrated);
+        assert_eq!(f.drv.state(p).owner, Device::Cpu);
+    }
+
+    #[test]
+    fn oversubscription_evicts_and_thrashes() {
+        let mut f = fixture_with_gpu_pages(2);
+        // 4 pages of data, 2 pages of device memory.
+        for n in 0..4 {
+            let p = f.page(n);
+            f.access(GPU, p, true);
+        }
+        assert!(f.stats.evictions >= 2);
+        // Touching page 0 again faults: it was evicted.
+        let p0 = f.page(0);
+        let o = f.access(GPU, p0, false);
+        assert!(o.fault);
+        // Evicted dirty pages were written back to the host.
+        assert!(f.stats.migrations_d2h >= 2);
+    }
+
+    #[test]
+    fn unset_read_mostly_collapses_copies() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.drv
+            .advise(f.base, f.pf.page_size, MemAdvise::SetReadMostly);
+        f.access(Device::Cpu, p, false);
+        f.access(GPU, p, false);
+        assert_eq!(f.drv.state(p).copies.len(), 2);
+        f.drv
+            .advise(f.base, f.pf.page_size, MemAdvise::UnsetReadMostly);
+        assert_eq!(f.drv.state(p).copies.len(), 1);
+        assert!(!f.drv.state(p).read_mostly);
+    }
+
+    #[test]
+    fn prefetch_moves_pages_without_faults() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.access(Device::Cpu, p, true);
+        let (base, size) = (f.base, 2 * f.pf.page_size);
+        let cost = f
+            .drv
+            .prefetch(&f.pf, &mut f.gpus, &mut f.stats, base, size, GPU);
+        assert!(cost > 0.0);
+        assert_eq!(f.stats.gpu_faults, 0, "prefetch must not fault");
+        assert_eq!(f.drv.state(p).owner, GPU);
+        // Subsequent GPU access is a clean hit.
+        let o = f.access(GPU, p, false);
+        assert_eq!(o, AccessOutcome::default());
+        // Prefetching a range already at the destination is free.
+        let c2 = f
+            .drv
+            .prefetch(&f.pf, &mut f.gpus, &mut f.stats, base, size, GPU);
+        assert_eq!(c2, 0.0);
+    }
+
+    #[test]
+    fn release_range_resets_state() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.access(GPU, p, true);
+        let (base, size) = (f.base, 4 * f.pf.page_size);
+        f.drv.release_range(base, size, &mut f.gpus);
+        assert!(!f.gpus[0].resident(p));
+        assert_eq!(f.drv.state(p).owner, Device::Cpu);
+    }
+}

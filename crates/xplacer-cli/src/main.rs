@@ -1,0 +1,284 @@
+//! `xplacer` — command-line front end for the XPlacer reproduction.
+//!
+//! ```text
+//! xplacer instrument <file.cu>            print the instrumented source
+//! xplacer run <file.cu> [options]         instrument + execute, show output
+//! xplacer analyze <file.cu> [options]     run traced and report anti-patterns
+//! xplacer demo <workload> [options]       run a built-in workload traced
+//! xplacer platforms                       list the simulated platforms
+//!
+//! options:
+//!   --platform <pascal|volta|power9>      target platform (default pascal)
+//!   --plain                               run without instrumentation
+//!   --stats                               print simulator counters
+//! ```
+
+use std::process::ExitCode;
+
+use hetsim::{platform, Machine, Platform};
+use xplacer_core::antipattern::{analyze, AnalysisConfig};
+use xplacer_interp::run_source;
+use xplacer_lang::parser::parse;
+use xplacer_lang::unparse::unparse;
+use xplacer_workloads::register_names;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("xplacer: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: xplacer <instrument|run|analyze|advise|demo|platforms> [args]\n\
+     try `xplacer demo lulesh` or `xplacer analyze examples/mini/alternating.cu`"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "instrument" => cmd_instrument(rest),
+        "run" => cmd_run(rest, false),
+        "analyze" => cmd_run(rest, true),
+        "advise" => cmd_advise(rest),
+        "demo" => cmd_demo(rest),
+        "platforms" => {
+            for pf in platform::all_platforms() {
+                println!(
+                    "{:<14} {:?}  link {:>3.0} GB/s  fault {:>5.0} ns  gpu-mem {} GiB",
+                    pf.name,
+                    pf.interconnect,
+                    pf.link_bw,
+                    pf.fault_ns,
+                    pf.gpu_mem_bytes >> 30
+                );
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn pick_platform(args: &[String]) -> Result<Platform, String> {
+    let mut pf = platform::intel_pascal();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--platform" {
+            let name = args
+                .get(i + 1)
+                .ok_or_else(|| "--platform needs a value".to_string())?;
+            pf = match name.as_str() {
+                "pascal" | "intel-pascal" => platform::intel_pascal(),
+                "volta" | "intel-volta" => platform::intel_volta(),
+                "power9" | "ibm" | "nvlink" => platform::power9_volta(),
+                other => return Err(format!("unknown platform `{other}`")),
+            };
+        }
+    }
+    Ok(pf)
+}
+
+fn read_file(args: &[String]) -> Result<(String, String), String> {
+    let mut skip_next = false;
+    let mut path = None;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--platform" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            path = Some(a.clone());
+            break;
+        }
+    }
+    let path = path.ok_or_else(|| "no input file given".to_string())?;
+    let src = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok((path, src))
+}
+
+fn cmd_instrument(args: &[String]) -> Result<(), String> {
+    let (_, src) = read_file(args)?;
+    let prog = parse(&src).map_err(|e| e.to_string())?;
+    let inst = xplacer_instrument::instrument(&prog);
+    print!("{}", unparse(&inst.program));
+    if !inst.replacements.is_empty() {
+        eprintln!("replacements applied:");
+        let mut reps: Vec<_> = inst.replacements.iter().collect();
+        reps.sort();
+        for (from, to) in reps {
+            eprintln!("  {from} -> {to}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String], analyze_after: bool) -> Result<(), String> {
+    let (path, src) = read_file(args)?;
+    let pf = pick_platform(args)?;
+    let plain = args.iter().any(|a| a == "--plain");
+    let instrumented = !plain;
+    let (out, interp) =
+        run_source(&src, pf.clone(), instrumented).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", out.stdout);
+    eprintln!(
+        "exit {} | simulated {:.3} ms on {} | faults {} | migrations {}",
+        out.exit,
+        out.elapsed_ns / 1e6,
+        pf.name,
+        out.stats.faults(),
+        out.stats.migrations()
+    );
+    if args.iter().any(|a| a == "--stats") {
+        eprintln!("{}", out.stats.summary());
+    }
+    if analyze_after {
+        if plain {
+            return Err("analyze requires instrumentation (drop --plain)".into());
+        }
+        if interp.reports.is_empty() {
+            // No diagnostic pragma in the program: analyze final state.
+            let report = analyze(&interp.tracer.smt, &AnalysisConfig::default());
+            println!("--- anti-pattern report (end of program) ---");
+            print!("{report}");
+        } else {
+            for (i, report) in interp.reports.iter().enumerate() {
+                println!("--- anti-pattern report (diagnostic point {}) ---", i + 1);
+                print!("{report}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run a program traced and print the placement advisor's suggestions
+/// (platform-aware) instead of the anti-pattern report.
+fn cmd_advise(args: &[String]) -> Result<(), String> {
+    let (path, src) = read_file(args)?;
+    let pf = pick_platform(args)?;
+    let (_, interp) = run_source(&src, pf.clone(), true).map_err(|e| format!("{path}: {e}"))?;
+    let suggestions = xplacer_core::suggest_for(&interp.tracer.smt, &pf);
+    if suggestions.is_empty() {
+        println!("no placement suggestions (nothing traced at end of program — \
+                  note that each tracePrint resets the trace; advise works best \
+                  on programs without diagnostic pragmas)");
+    } else {
+        println!("placement suggestions for {}:", pf.name);
+        for s in &suggestions {
+            println!("  {s}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let Some(which) = args.first() else {
+        return Err(
+            "demo requires a workload: lulesh | sw | pathfinder | backprop | gaussian | lud | nn | cfd"
+                .into(),
+        );
+    };
+    let pf = pick_platform(args)?;
+    let mut m = Machine::new(pf.clone());
+    let tracer = xplacer_core::attach_tracer(&mut m);
+    use xplacer_workloads as w;
+    let check = match which.as_str() {
+        "lulesh" => {
+            let cfg = w::lulesh::LuleshConfig::new(8, 3);
+            let mut l = w::lulesh::Lulesh::setup(&mut m, cfg, w::lulesh::LuleshVariant::Baseline);
+            register_names(&tracer, &l.names());
+            l.run(&mut m, cfg.steps, |_, _| {});
+            l.check(&mut m)
+        }
+        "sw" | "smith-waterman" => {
+            let cfg = w::smith_waterman::SwConfig::square(128);
+            let mut s = w::smith_waterman::SmithWaterman::setup(
+                &mut m,
+                cfg,
+                w::smith_waterman::SwVariant::Baseline,
+            );
+            register_names(&tracer, &s.names());
+            s.run(&mut m, |_, _| {});
+            s.peek_score(&mut m) as f64
+        }
+        "pathfinder" => {
+            let cfg = w::rodinia::pathfinder::PathfinderConfig::new(512, 101, 20);
+            let mut p = w::rodinia::pathfinder::Pathfinder::setup(
+                &mut m,
+                cfg,
+                w::rodinia::pathfinder::PathfinderVariant::Baseline,
+            );
+            register_names(&tracer, &p.names());
+            p.run(&mut m, |_, _| {});
+            p.check(&mut m)
+        }
+        "backprop" => {
+            let mut b = w::rodinia::backprop::Backprop::setup(
+                &mut m,
+                w::rodinia::backprop::BackpropConfig::new(1024),
+            );
+            register_names(&tracer, &b.names());
+            b.run(&mut m);
+            b.check()
+        }
+        "gaussian" => {
+            let mut g = w::rodinia::gaussian::Gaussian::setup(
+                &mut m,
+                w::rodinia::gaussian::GaussianConfig::new(48),
+            );
+            register_names(&tracer, &g.names());
+            g.run(&mut m);
+            g.check()
+        }
+        "lud" => {
+            let mut l = w::rodinia::lud::Lud::setup(&mut m, w::rodinia::lud::LudConfig::new(48));
+            register_names(&tracer, &l.names());
+            l.run(&mut m, |_, _| {});
+            l.check(&mut m)
+        }
+        "nn" => {
+            let mut n = w::rodinia::nn::Nn::setup(&mut m, w::rodinia::nn::NnConfig::new(2048));
+            register_names(&tracer, &n.names());
+            n.run(&mut m);
+            n.nearest().1 as f64
+        }
+        "cfd" => {
+            let mut c =
+                w::rodinia::cfd::Cfd::setup(&mut m, w::rodinia::cfd::CfdConfig::new(1024, 8));
+            register_names(&tracer, &c.names());
+            c.run(&mut m);
+            c.check()
+        }
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+
+    let elapsed = m.elapsed_ns();
+    println!(
+        "{which} on {}: check={check:.4}, simulated {:.3} ms, faults {}, migrations {}",
+        pf.name,
+        elapsed / 1e6,
+        m.stats.faults(),
+        m.stats.migrations()
+    );
+    let summaries = xplacer_core::summarize(&tracer.borrow().smt, true);
+    println!("\n--- diagnostic summary (named allocations) ---");
+    print!("{}", xplacer_core::format_fig4(&summaries));
+    let report = analyze(&tracer.borrow().smt, &AnalysisConfig::default());
+    println!("--- anti-pattern report ---");
+    print!("{report}");
+    Ok(())
+}

@@ -1,0 +1,1366 @@
+//! # xplacer-interp — executes MiniCU programs on the simulator
+//!
+//! The back half of the XPlacer toolchain: where the paper compiles the
+//! instrumented source with nvcc and links the runtime library, this
+//! crate *interprets* the (instrumented or original) MiniCU AST against a
+//! [`hetsim::Machine`]. Heap accesses are performed — and costed — by the
+//! simulator; the `trace*`/`trc*` wrapper calls that the instrumentation
+//! pass inserted drive an [`xplacer_core::Tracer`] exactly like the
+//! paper's runtime library, including `tracePrint` diagnostics.
+//!
+//! Running the *original* program corresponds to the uninstrumented
+//! baseline; running the *instrumented* program produces the trace.
+
+use std::collections::HashMap;
+
+use hetsim::{Addr, AllocKind, CopyKind, Device, Machine, MemAdvise, SimError};
+use xplacer_core::{diagnostic, Tracer, XplAllocData};
+use xplacer_lang::ast::*;
+use xplacer_lang::sema::{field_offset, field_type, size_of, TypeEnv};
+
+/// Execution error (program bug or unsupported construct).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError {
+    pub message: String,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError {
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, RunError> {
+    Err(RunError {
+        message: msg.into(),
+    })
+}
+
+type RResult<T> = Result<T, RunError>;
+
+/// A pointer value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PtrVal {
+    Null,
+    /// A simulated heap address with its pointee type.
+    Heap { addr: Addr, ty: Type },
+    /// Address of an interpreter local (supports `&p` out-params like
+    /// `cudaMalloc((void**)&p, n)`).
+    Local { frame: usize, name: String },
+}
+
+/// Runtime values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Ptr(PtrVal),
+    Alloc(XplAllocData),
+    Void,
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Double(v) => *v != 0.0,
+            Value::Ptr(PtrVal::Null) => false,
+            Value::Ptr(_) => true,
+            Value::Str(s) => !s.is_empty(),
+            _ => false,
+        }
+    }
+
+    fn as_int(&self) -> RResult<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Double(v) => Ok(*v as i64),
+            Value::Ptr(PtrVal::Null) => Ok(0),
+            Value::Ptr(PtrVal::Heap { addr, .. }) => Ok(*addr as i64),
+            other => err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    fn as_double(&self) -> RResult<f64> {
+        match self {
+            Value::Int(v) => Ok(*v as f64),
+            Value::Double(v) => Ok(*v),
+            other => err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+enum Place {
+    Heap { addr: Addr, ty: Type },
+    Local { frame: usize, name: String },
+}
+
+#[allow(dead_code)] // Normal's value is kept for debugging clarity
+enum Flow {
+    /// Fall through to the next statement (the value is only observed
+    /// by expression statements' tests; keep it simple and drop it).
+    Normal(Value),
+    Break,
+    Continue,
+    Return(Value),
+}
+
+struct Frame {
+    scopes: Vec<HashMap<String, Value>>,
+}
+
+struct KState {
+    tid: usize,
+    block: i64,
+    grid: i64,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// `main`'s return value.
+    pub exit: i64,
+    /// Captured `printf`/`tracePrint` output.
+    pub stdout: String,
+    /// Simulated time.
+    pub elapsed_ns: f64,
+    /// Simulator counters.
+    pub stats: hetsim::Stats,
+}
+
+/// The interpreter.
+pub struct Interp {
+    prog: Program,
+    /// The simulated node the program runs on.
+    pub machine: Machine,
+    /// The runtime tracer, driven by the instrumented `trace*`/`trc*`
+    /// calls (not by a machine hook — this is source-level tracing).
+    pub tracer: Tracer,
+    frames: Vec<Frame>,
+    /// Captured program output.
+    pub stdout: String,
+    kernel: Option<KState>,
+    steps: u64,
+    /// Abort after this many evaluation steps (runaway-loop guard).
+    pub max_steps: u64,
+    /// Anti-pattern reports collected at each `tracePrint` call (the
+    /// paper's diagnostic points), in program order.
+    pub reports: Vec<xplacer_core::Report>,
+}
+
+impl Interp {
+    pub fn new(prog: Program, machine: Machine) -> Self {
+        Interp {
+            prog,
+            machine,
+            tracer: Tracer::new(),
+            frames: vec![Frame {
+                scopes: vec![HashMap::new()],
+            }],
+            stdout: String::new(),
+            kernel: None,
+            steps: 0,
+            max_steps: 2_000_000_000,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Execute `main()` and collect the outcome.
+    pub fn run_main(&mut self) -> RResult<Outcome> {
+        // Initialize globals in declaration order.
+        let globals: Vec<VarDecl> = self
+            .prog
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Global(g) => Some(g.clone()),
+                _ => None,
+            })
+            .collect();
+        for g in globals {
+            let v = match &g.init {
+                Some(e) => {
+                    let v = self.eval(e)?;
+                    coerce(v, &g.ty)
+                }
+                None => default_value(&g.ty),
+            };
+            self.frames[0].scopes[0].insert(g.name.clone(), v);
+        }
+        let exit = self.call("main", vec![])?.as_int().unwrap_or(0);
+        Ok(Outcome {
+            exit,
+            stdout: self.stdout.clone(),
+            elapsed_ns: self.machine.elapsed_ns(),
+            stats: self.machine.stats.clone(),
+        })
+    }
+
+    fn tick(&mut self) -> RResult<()> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return err("step budget exceeded (runaway loop?)");
+        }
+        Ok(())
+    }
+
+    fn cur_dev(&self) -> Device {
+        if self.kernel.is_some() {
+            Device::GPU0
+        } else {
+            Device::Cpu
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Variables
+    // ------------------------------------------------------------------
+
+    fn declare(&mut self, name: &str, v: Value) {
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .scopes
+            .last_mut()
+            .expect("scope")
+            .insert(name.to_string(), v);
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<(usize, Value)> {
+        let top = self.frames.len() - 1;
+        for scope in self.frames[top].scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some((top, v.clone()));
+            }
+        }
+        if top != 0 {
+            for scope in self.frames[0].scopes.iter().rev() {
+                if let Some(v) = scope.get(name) {
+                    return Some((0, v.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    fn set_var(&mut self, frame: usize, name: &str, v: Value) -> RResult<()> {
+        for scope in self.frames[frame].scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = v;
+                return Ok(());
+            }
+        }
+        err(format!("assignment to undeclared variable `{name}`"))
+    }
+
+    // ------------------------------------------------------------------
+    // Calls
+    // ------------------------------------------------------------------
+
+    /// Call a function by name with evaluated arguments.
+    pub fn call(&mut self, name: &str, args: Vec<Value>) -> RResult<Value> {
+        if let Some(v) = self.builtin(name, &args)? {
+            return Ok(v);
+        }
+        let Some(f) = self.prog.func(name).cloned() else {
+            return err(format!("call to unknown function `{name}`"));
+        };
+        let Some(body) = f.body.clone() else {
+            return err(format!("call to function `{name}` with no body"));
+        };
+        if f.params.len() != args.len() {
+            return err(format!(
+                "`{name}` expects {} arguments, got {}",
+                f.params.len(),
+                args.len()
+            ));
+        }
+        if self.frames.len() > 64 {
+            return err("call stack overflow");
+        }
+        let mut scope = HashMap::new();
+        for (p, a) in f.params.iter().zip(args) {
+            scope.insert(p.name.clone(), coerce(a, &p.ty));
+        }
+        self.frames.push(Frame {
+            scopes: vec![scope],
+        });
+        let flow = self.exec_block(&body);
+        self.frames.pop();
+        match flow? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::Void),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> RResult<Flow> {
+        self.frames.last_mut().unwrap().scopes.push(HashMap::new());
+        let mut result = Flow::Normal(Value::Void);
+        for s in stmts {
+            match self.exec_stmt(s) {
+                Ok(Flow::Normal(_)) => {}
+                Ok(other) => {
+                    result = other;
+                    break;
+                }
+                Err(e) => {
+                    self.frames.last_mut().unwrap().scopes.pop();
+                    return Err(e);
+                }
+            }
+        }
+        self.frames.last_mut().unwrap().scopes.pop();
+        Ok(result)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> RResult<Flow> {
+        self.tick()?;
+        match s {
+            Stmt::Decl(d) => {
+                let v = match &d.init {
+                    Some(e) => {
+                        let v = self.eval(e)?;
+                        coerce(v, &d.ty)
+                    }
+                    None => default_value(&d.ty),
+                };
+                self.declare(&d.name, v);
+                Ok(Flow::Normal(Value::Void))
+            }
+            Stmt::Expr(e) => {
+                let v = self.eval(e)?;
+                Ok(Flow::Normal(v))
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Void,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Block(b) => self.exec_block(b),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(cond)?.truthy() {
+                    self.exec_block(then_branch)
+                } else {
+                    self.exec_block(else_branch)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond)?.truthy() {
+                    self.tick()?;
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal(Value::Void))
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.frames.last_mut().unwrap().scopes.push(HashMap::new());
+                let run = (|| -> RResult<Flow> {
+                    if let Some(i) = init {
+                        self.exec_stmt(i)?;
+                    }
+                    loop {
+                        self.tick()?;
+                        if let Some(c) = cond {
+                            if !self.eval(c)?.truthy() {
+                                break;
+                            }
+                        }
+                        match self.exec_block(body)? {
+                            Flow::Break => break,
+                            Flow::Return(v) => return Ok(Flow::Return(v)),
+                            _ => {}
+                        }
+                        if let Some(st) = step {
+                            self.eval(st)?;
+                        }
+                    }
+                    Ok(Flow::Normal(Value::Void))
+                })();
+                self.frames.last_mut().unwrap().scopes.pop();
+                run
+            }
+            Stmt::Pragma(_) => Ok(Flow::Normal(Value::Void)), // inert at runtime
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> RResult<Value> {
+        self.tick()?;
+        match e {
+            Expr::IntLit(v) => Ok(Value::Int(*v)),
+            Expr::FloatLit(v) => Ok(Value::Double(*v)),
+            Expr::StrLit(s) => Ok(Value::Str(s.clone())),
+            Expr::Ident(n) => self.eval_ident(n),
+            Expr::Member(b, f, false)
+                if matches!(&**b, Expr::Ident(n) if is_cuda_builtin_struct(n)) =>
+            {
+                let Expr::Ident(n) = &**b else { unreachable!() };
+                self.cuda_index(n, f)
+            }
+            Expr::Unary(UnOp::Neg, b) => match self.eval(b)? {
+                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::Double(v) => Ok(Value::Double(-v)),
+                other => err(format!("cannot negate {other:?}")),
+            },
+            Expr::Unary(UnOp::Not, b) => Ok(Value::Int(!self.eval(b)?.truthy() as i64)),
+            Expr::Unary(UnOp::Addr, b) => {
+                let place = self.eval_place(b)?;
+                Ok(match place {
+                    Place::Heap { addr, ty } => Value::Ptr(PtrVal::Heap { addr, ty }),
+                    Place::Local { frame, name } => Value::Ptr(PtrVal::Local { frame, name }),
+                })
+            }
+            Expr::Unary(UnOp::Deref, _) | Expr::Index(_, _) | Expr::Member(_, _, _) => {
+                let place = self.eval_place(e)?;
+                self.load(&place)
+            }
+            Expr::Unary(op @ (UnOp::PreInc | UnOp::PreDec), b) => {
+                let delta = if *op == UnOp::PreInc { 1 } else { -1 };
+                self.incdec(b, delta, true)
+            }
+            Expr::Postfix(op, b) => {
+                let delta = if *op == PostOp::Inc { 1 } else { -1 };
+                self.incdec(b, delta, false)
+            }
+            Expr::Binary(op, a, b) => {
+                match op {
+                    BinOp::And => {
+                        let l = self.eval(a)?;
+                        if !l.truthy() {
+                            return Ok(Value::Int(0));
+                        }
+                        return Ok(Value::Int(self.eval(b)?.truthy() as i64));
+                    }
+                    BinOp::Or => {
+                        let l = self.eval(a)?;
+                        if l.truthy() {
+                            return Ok(Value::Int(1));
+                        }
+                        return Ok(Value::Int(self.eval(b)?.truthy() as i64));
+                    }
+                    _ => {}
+                }
+                let l = self.eval(a)?;
+                let r = self.eval(b)?;
+                self.binop(*op, l, r)
+            }
+            Expr::Assign(op, lhs, rhs) => {
+                let rv = self.eval(rhs)?;
+                let place = self.eval_place(lhs)?;
+                let result = if *op == AssignOp::Set {
+                    rv
+                } else {
+                    let old = self.load(&place)?;
+                    let bop = match op {
+                        AssignOp::Add => BinOp::Add,
+                        AssignOp::Sub => BinOp::Sub,
+                        AssignOp::Mul => BinOp::Mul,
+                        AssignOp::Div => BinOp::Div,
+                        AssignOp::Set => unreachable!(),
+                    };
+                    self.binop(bop, old, rv)?
+                };
+                self.store(&place, result.clone())?;
+                Ok(result)
+            }
+            Expr::Cond(c, t, f) => {
+                if self.eval(c)?.truthy() {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+            Expr::Cast(ty, b) => {
+                let v = self.eval(b)?;
+                Ok(cast(v, ty))
+            }
+            Expr::SizeofType(t) => Ok(Value::Int(size_of(&self.prog, t) as i64)),
+            Expr::SizeofExpr(b) => {
+                // Unevaluated: infer the type statically.
+                let env = TypeEnv::new(&self.prog);
+                let t = env.infer(b).unwrap_or(Type::Int);
+                Ok(Value::Int(size_of(&self.prog, &t) as i64))
+            }
+            Expr::Call(name, args) => self.eval_call(name, args),
+            Expr::KernelLaunch {
+                name,
+                grid,
+                block,
+                args,
+            } => {
+                let g = self.eval(grid)?.as_int()?;
+                let b = self.eval(block)?.as_int()?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.launch_kernel(name, g, b, vals)?;
+                Ok(Value::Void)
+            }
+        }
+    }
+
+    fn eval_ident(&mut self, n: &str) -> RResult<Value> {
+        if let Some((_, v)) = self.lookup_var(n) {
+            return Ok(v);
+        }
+        if let Some(v) = builtin_constant(n) {
+            return Ok(v);
+        }
+        err(format!("use of undeclared variable `{n}`"))
+    }
+
+    fn cuda_index(&self, base: &str, field: &str) -> RResult<Value> {
+        let Some(k) = &self.kernel else {
+            return err(format!("`{base}.{field}` outside a kernel"));
+        };
+        if field != "x" {
+            return err(format!("only .x is supported on `{base}`"));
+        }
+        Ok(Value::Int(match base {
+            "threadIdx" => k.tid as i64 % k.block,
+            "blockIdx" => k.tid as i64 / k.block,
+            "blockDim" => k.block,
+            "gridDim" => k.grid,
+            _ => unreachable!(),
+        }))
+    }
+
+    fn incdec(&mut self, lv: &Expr, delta: i64, pre: bool) -> RResult<Value> {
+        let place = self.eval_place(lv)?;
+        let old = self.load(&place)?;
+        let new = match &old {
+            Value::Int(v) => Value::Int(v + delta),
+            Value::Double(v) => Value::Double(v + delta as f64),
+            Value::Ptr(PtrVal::Heap { addr, ty }) => {
+                let sz = size_of(&self.prog, ty) as i64;
+                Value::Ptr(PtrVal::Heap {
+                    addr: (*addr as i64 + delta * sz) as Addr,
+                    ty: ty.clone(),
+                })
+            }
+            other => return err(format!("cannot increment {other:?}")),
+        };
+        self.store(&place, new.clone())?;
+        Ok(if pre { new } else { old })
+    }
+
+    fn binop(&mut self, op: BinOp, l: Value, r: Value) -> RResult<Value> {
+        use BinOp::*;
+        // Pointer arithmetic.
+        if let (Value::Ptr(PtrVal::Heap { addr, ty }), Value::Int(n)) = (&l, &r) {
+            if matches!(op, Add | Sub) {
+                let sz = size_of(&self.prog, ty) as i64;
+                let off = if op == Add { *n } else { -*n } * sz;
+                return Ok(Value::Ptr(PtrVal::Heap {
+                    addr: (*addr as i64 + off) as Addr,
+                    ty: ty.clone(),
+                }));
+            }
+        }
+        if let (Value::Int(n), Value::Ptr(PtrVal::Heap { addr, ty })) = (&l, &r) {
+            if op == Add {
+                let sz = size_of(&self.prog, ty) as i64;
+                return Ok(Value::Ptr(PtrVal::Heap {
+                    addr: (*addr as i64 + n * sz) as Addr,
+                    ty: ty.clone(),
+                }));
+            }
+        }
+        if let (Value::Ptr(a), Value::Ptr(b)) = (&l, &r) {
+            let av = ptr_addr(a);
+            let bv = ptr_addr(b);
+            return Ok(Value::Int(match op {
+                Sub => av as i64 - bv as i64,
+                Eq => (av == bv) as i64,
+                Ne => (av != bv) as i64,
+                Lt => (av < bv) as i64,
+                Gt => (av > bv) as i64,
+                Le => (av <= bv) as i64,
+                Ge => (av >= bv) as i64,
+                _ => return err("unsupported pointer operation"),
+            }));
+        }
+        // Numeric.
+        let float = matches!(l, Value::Double(_)) || matches!(r, Value::Double(_));
+        if float {
+            let a = l.as_double()?;
+            let b = r.as_double()?;
+            Ok(match op {
+                Add => Value::Double(a + b),
+                Sub => Value::Double(a - b),
+                Mul => Value::Double(a * b),
+                Div => Value::Double(a / b),
+                Rem => Value::Double(a % b),
+                Eq => Value::Int((a == b) as i64),
+                Ne => Value::Int((a != b) as i64),
+                Lt => Value::Int((a < b) as i64),
+                Gt => Value::Int((a > b) as i64),
+                Le => Value::Int((a <= b) as i64),
+                Ge => Value::Int((a >= b) as i64),
+                _ => return err("bitwise operation on floating point"),
+            })
+        } else {
+            let a = l.as_int()?;
+            let b = r.as_int()?;
+            Ok(Value::Int(match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => {
+                    if b == 0 {
+                        return err("integer division by zero");
+                    }
+                    a / b
+                }
+                Rem => {
+                    if b == 0 {
+                        return err("integer remainder by zero");
+                    }
+                    a % b
+                }
+                Eq => (a == b) as i64,
+                Ne => (a != b) as i64,
+                Lt => (a < b) as i64,
+                Gt => (a > b) as i64,
+                Le => (a <= b) as i64,
+                Ge => (a >= b) as i64,
+                BitAnd => a & b,
+                BitOr => a | b,
+                BitXor => a ^ b,
+                Shl => a.wrapping_shl(b as u32),
+                Shr => a.wrapping_shr(b as u32),
+                And | Or => unreachable!("short-circuited"),
+            }))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Places (l-values)
+    // ------------------------------------------------------------------
+
+    fn eval_place(&mut self, e: &Expr) -> RResult<Place> {
+        match e {
+            Expr::Ident(n) => match self.lookup_var(n) {
+                Some((frame, _)) => Ok(Place::Local {
+                    frame,
+                    name: n.clone(),
+                }),
+                None => err(format!("use of undeclared variable `{n}`")),
+            },
+            Expr::Unary(UnOp::Deref, b) => {
+                let p = self.eval(b)?;
+                self.ptr_to_place(p)
+            }
+            Expr::Index(b, i) => {
+                let base = self.eval(b)?;
+                let idx = self.eval(i)?.as_int()?;
+                match base {
+                    Value::Ptr(PtrVal::Heap { addr, ty }) => {
+                        let sz = size_of(&self.prog, &ty) as i64;
+                        Ok(Place::Heap {
+                            addr: (addr as i64 + idx * sz) as Addr,
+                            ty,
+                        })
+                    }
+                    Value::Ptr(PtrVal::Null) => err("index through null pointer"),
+                    other => err(format!("cannot index {other:?}")),
+                }
+            }
+            Expr::Member(b, f, true) => {
+                let base = self.eval(b)?;
+                match base {
+                    Value::Ptr(PtrVal::Heap { addr, ty }) => {
+                        let Type::Struct(sname) = &ty else {
+                            return err(format!("`->{f}` on non-struct pointer {ty}"));
+                        };
+                        let off = field_offset(&self.prog, sname, f).ok_or_else(|| RunError {
+                            message: format!("no field `{f}` in struct {sname}"),
+                        })?;
+                        let fty = field_type(&self.prog, sname, f).unwrap().clone();
+                        Ok(Place::Heap {
+                            addr: addr + off,
+                            ty: fty,
+                        })
+                    }
+                    Value::Ptr(PtrVal::Null) => err("member access through null pointer"),
+                    other => err(format!("cannot apply `->` to {other:?}")),
+                }
+            }
+            Expr::Member(_, f, false) => err(format!(
+                "`.{f}`: struct values are only supported through pointers"
+            )),
+            Expr::Call(name, args) if name == "traceR" || name == "traceW" || name == "traceRW" => {
+                // Source-level instrumentation wrappers: record the access
+                // in the tracer, then behave as the inner l-value.
+                let inner = args
+                    .first()
+                    .ok_or_else(|| RunError {
+                        message: format!("{name} requires an argument"),
+                    })?
+                    .clone();
+                let place = self.eval_place(&inner)?;
+                if let Place::Heap { addr, ty } = &place {
+                    let size = size_of(&self.prog, ty) as u32;
+                    let dev = self.cur_dev();
+                    match name.as_str() {
+                        "traceR" => self.tracer.trace_r(dev, *addr, size),
+                        "traceW" => self.tracer.trace_w(dev, *addr, size),
+                        _ => self.tracer.trace_rw(dev, *addr, size),
+                    }
+                }
+                Ok(place)
+            }
+            Expr::Cast(_, b) => self.eval_place(b),
+            other => err(format!("not an l-value: {other:?}")),
+        }
+    }
+
+    fn ptr_to_place(&mut self, p: Value) -> RResult<Place> {
+        match p {
+            Value::Ptr(PtrVal::Heap { addr, ty }) => Ok(Place::Heap { addr, ty }),
+            Value::Ptr(PtrVal::Local { frame, name }) => Ok(Place::Local { frame, name }),
+            Value::Ptr(PtrVal::Null) => err("dereference of null pointer"),
+            other => err(format!("cannot dereference {other:?}")),
+        }
+    }
+
+    fn load(&mut self, place: &Place) -> RResult<Value> {
+        match place {
+            Place::Local { frame, name } => {
+                for scope in self.frames[*frame].scopes.iter().rev() {
+                    if let Some(v) = scope.get(name) {
+                        return Ok(v.clone());
+                    }
+                }
+                err(format!("read of undeclared variable `{name}`"))
+            }
+            Place::Heap { addr, ty } => {
+                let m = &mut self.machine;
+                Ok(match ty {
+                    Type::Int => Value::Int(m.try_read_scalar::<i32>(*addr)? as i64),
+                    Type::Float => Value::Double(m.try_read_scalar::<f32>(*addr)? as f64),
+                    Type::Double => Value::Double(m.try_read_scalar::<f64>(*addr)?),
+                    Type::Char => Value::Int(m.try_read_scalar::<u8>(*addr)? as i64),
+                    Type::SizeT => Value::Int(m.try_read_scalar::<u64>(*addr)? as i64),
+                    Type::Ptr(inner) => {
+                        let raw = m.try_read_scalar::<u64>(*addr)?;
+                        if raw == 0 {
+                            Value::Ptr(PtrVal::Null)
+                        } else {
+                            Value::Ptr(PtrVal::Heap {
+                                addr: raw,
+                                ty: (**inner).clone(),
+                            })
+                        }
+                    }
+                    Type::Void => return err("load of void"),
+                    Type::Struct(s) => return err(format!("struct {s} cannot be loaded by value")),
+                })
+            }
+        }
+    }
+
+    fn store(&mut self, place: &Place, v: Value) -> RResult<()> {
+        match place {
+            Place::Local { frame, name } => self.set_var(*frame, name, v),
+            Place::Heap { addr, ty } => {
+                let m = &mut self.machine;
+                match ty {
+                    Type::Int => m.try_write_scalar::<i32>(*addr, v.as_int()? as i32)?,
+                    Type::Float => m.try_write_scalar::<f32>(*addr, v.as_double()? as f32)?,
+                    Type::Double => m.try_write_scalar::<f64>(*addr, v.as_double()?)?,
+                    Type::Char => m.try_write_scalar::<u8>(*addr, v.as_int()? as u8)?,
+                    Type::SizeT => m.try_write_scalar::<u64>(*addr, v.as_int()? as u64)?,
+                    Type::Ptr(_) => {
+                        let raw = match &v {
+                            Value::Ptr(p) => ptr_addr(p),
+                            Value::Int(n) => *n as u64,
+                            other => return err(format!("cannot store {other:?} into pointer")),
+                        };
+                        m.try_write_scalar::<u64>(*addr, raw)?;
+                    }
+                    Type::Void => return err("store to void"),
+                    Type::Struct(s) => return err(format!("struct {s} cannot be stored by value")),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kernels
+    // ------------------------------------------------------------------
+
+    fn launch_kernel(&mut self, name: &str, grid: i64, block: i64, args: Vec<Value>) -> RResult<()> {
+        if self.kernel.is_some() {
+            return err("nested kernel launch");
+        }
+        let Some(f) = self.prog.func(name).cloned() else {
+            return err(format!("launch of unknown kernel `{name}`"));
+        };
+        if !f.is_kernel() {
+            return err(format!("`{name}` is not a __global__ function"));
+        }
+        let threads = (grid.max(1) * block.max(1)) as usize;
+        self.machine.kernel_begin(name);
+        for tid in 0..threads {
+            self.kernel = Some(KState {
+                tid,
+                block: block.max(1),
+                grid: grid.max(1),
+            });
+            let r = self.call_user_kernel(&f, args.clone());
+            if let Err(e) = r {
+                self.kernel = None;
+                let _ = self.machine.kernel_finish();
+                return Err(e);
+            }
+        }
+        self.kernel = None;
+        let dur = self.machine.kernel_finish();
+        self.machine.advance_ns(dur);
+        Ok(())
+    }
+
+    fn call_user_kernel(&mut self, f: &Func, args: Vec<Value>) -> RResult<()> {
+        let Some(body) = &f.body else {
+            return err(format!("kernel `{}` has no body", f.name));
+        };
+        let mut scope = HashMap::new();
+        for (p, a) in f.params.iter().zip(args) {
+            scope.insert(p.name.clone(), coerce(a, &p.ty));
+        }
+        self.frames.push(Frame {
+            scopes: vec![scope],
+        });
+        let flow = self.exec_block(&body.clone());
+        self.frames.pop();
+        flow.map(|_| ())
+    }
+
+    // ------------------------------------------------------------------
+    // Builtins
+    // ------------------------------------------------------------------
+
+    /// Try to handle `name` as a builtin; `Ok(None)` means "not a
+    /// builtin, dispatch to user code".
+    fn builtin(&mut self, name: &str, args: &[Value]) -> RResult<Option<Value>> {
+        let traced = name.starts_with("trc");
+        let v = match name {
+            // --- allocation ---
+            "cudaMalloc" | "trcMalloc" | "cudaMallocManaged" | "trcMallocManaged" => {
+                let kind = if name.ends_with("Managed") {
+                    AllocKind::Managed
+                } else {
+                    AllocKind::Device(0)
+                };
+                let bytes = args.get(1).ok_or_else(|| missing(name, 2))?.as_int()? as u64;
+                let base = self.machine.try_malloc(bytes, kind)?;
+                if traced {
+                    use hetsim::MemHook;
+                    self.tracer.on_alloc(base, bytes, kind);
+                }
+                // Store through the out-parameter (a pointer-to-pointer).
+                let out = args.first().ok_or_else(|| missing(name, 2))?.clone();
+                let place = self.ptr_to_place(out)?;
+                self.store_out_pointer(place, base)?;
+                Value::Int(0)
+            }
+            "malloc" | "trcHostMalloc" | "__new" | "__new_array" => {
+                let bytes = match name {
+                    "__new" => args.first().ok_or_else(|| missing(name, 1))?.as_int()? as u64,
+                    "__new_array" => {
+                        let sz = args.first().ok_or_else(|| missing(name, 2))?.as_int()?;
+                        let n = args.get(1).ok_or_else(|| missing(name, 2))?.as_int()?;
+                        (sz * n) as u64
+                    }
+                    _ => args.first().ok_or_else(|| missing(name, 1))?.as_int()? as u64,
+                };
+                let base = self.machine.try_malloc(bytes, AllocKind::Host)?;
+                if traced {
+                    use hetsim::MemHook;
+                    self.tracer.on_alloc(base, bytes, AllocKind::Host);
+                }
+                if name == "__new" {
+                    // `new T(init)` stores the initializer.
+                    if let Some(init) = args.get(1) {
+                        let sz = args.first().unwrap().as_int()?;
+                        match sz {
+                            4 => self
+                                .machine
+                                .try_write_scalar::<i32>(base, init.as_int()? as i32)?,
+                            8 => self.machine.try_write_scalar::<i64>(base, init.as_int()?)?,
+                            _ => {}
+                        }
+                    }
+                }
+                Value::Ptr(PtrVal::Heap {
+                    addr: base,
+                    ty: Type::Char,
+                })
+            }
+            "cudaFree" | "trcFree" | "free" | "trcHostFree" | "__delete" => {
+                let p = args.first().ok_or_else(|| missing(name, 1))?;
+                if let Value::Ptr(pv) = p {
+                    let addr = ptr_addr(pv);
+                    if addr != 0 {
+                        self.machine.try_free(addr)?;
+                        if traced {
+                            use hetsim::MemHook;
+                            self.tracer.on_free(addr);
+                        }
+                    }
+                }
+                Value::Int(0)
+            }
+            // --- transfer & advice ---
+            "cudaMemcpy" | "trcMemcpy" => {
+                let dst = ptr_of(args.first().ok_or_else(|| missing(name, 4))?)?;
+                let src = ptr_of(args.get(1).ok_or_else(|| missing(name, 4))?)?;
+                let bytes = args.get(2).ok_or_else(|| missing(name, 4))?.as_int()? as u64;
+                let kind = copy_kind(args.get(3).ok_or_else(|| missing(name, 4))?.as_int()?)?;
+                self.machine.try_memcpy(dst, src, bytes, kind)?;
+                if traced {
+                    use hetsim::MemHook;
+                    self.tracer.on_memcpy(dst, src, bytes, kind);
+                }
+                Value::Int(0)
+            }
+            "cudaMemAdvise" | "trcMemAdvise" => {
+                let p = ptr_of(args.first().ok_or_else(|| missing(name, 4))?)?;
+                let bytes = args.get(1).ok_or_else(|| missing(name, 4))?.as_int()? as u64;
+                let advice = args.get(2).ok_or_else(|| missing(name, 4))?.as_int()?;
+                let device = args.get(3).ok_or_else(|| missing(name, 4))?.as_int()?;
+                let dev = if device < 0 {
+                    Device::Cpu
+                } else {
+                    Device::Gpu(device as u8)
+                };
+                let adv = match advice {
+                    1 => MemAdvise::SetReadMostly,
+                    2 => MemAdvise::UnsetReadMostly,
+                    3 => MemAdvise::SetPreferredLocation(dev),
+                    4 => MemAdvise::UnsetPreferredLocation,
+                    5 => MemAdvise::SetAccessedBy(dev),
+                    6 => MemAdvise::UnsetAccessedBy(dev),
+                    other => return err(format!("unknown cudaMemAdvise value {other}")),
+                };
+                self.machine.try_mem_advise(p, bytes, adv)?;
+                Value::Int(0)
+            }
+            "cudaMemPrefetchAsync" | "trcMemPrefetchAsync" => {
+                let ptr = ptr_of(args.first().ok_or_else(|| missing(name, 3))?)?;
+                let bytes = args.get(1).ok_or_else(|| missing(name, 3))?.as_int()? as u64;
+                let device = args.get(2).ok_or_else(|| missing(name, 3))?.as_int()?;
+                let dst = if device < 0 {
+                    Device::Cpu
+                } else {
+                    Device::Gpu(device as u8)
+                };
+                self.machine
+                    .try_mem_prefetch(ptr, bytes, dst, hetsim::DEFAULT_STREAM)?;
+                Value::Int(0)
+            }
+            "cudaDeviceSynchronize" => {
+                let _ = self.machine.elapsed_ns();
+                Value::Int(0)
+            }
+            // --- tracing API ---
+            "traceKernelLaunch" => {
+                let grid = args.first().ok_or_else(|| missing(name, 3))?.as_int()?;
+                let block = args.get(1).ok_or_else(|| missing(name, 3))?.as_int()?;
+                let Some(Value::Str(kname)) = args.get(2) else {
+                    return err("traceKernelLaunch expects the kernel name");
+                };
+                use hetsim::MemHook;
+                let kname = kname.clone();
+                self.tracer.on_kernel_launch(&kname);
+                self.launch_kernel(&kname, grid, block, args[3..].to_vec())?;
+                Value::Int(0)
+            }
+            "XplAllocData" => {
+                let addr = ptr_of(args.first().ok_or_else(|| missing(name, 3))?)?;
+                let Some(Value::Str(label)) = args.get(1) else {
+                    return err("XplAllocData expects a name string");
+                };
+                let sz = args.get(2).ok_or_else(|| missing(name, 3))?.as_int()? as u64;
+                Value::Alloc(XplAllocData::new(addr, label.clone(), sz))
+            }
+            "tracePrint" => {
+                let objects: Vec<XplAllocData> = args
+                    .iter()
+                    .filter_map(|a| match a {
+                        Value::Alloc(d) => Some(d.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                self.tracer.register_names(&objects);
+                // The diagnostic point is where the anti-pattern analysis
+                // runs (before the epoch reset wipes the shadow).
+                self.reports.push(xplacer_core::analyze(
+                    &self.tracer.smt,
+                    &xplacer_core::AnalysisConfig::default(),
+                ));
+                let mut sink = Vec::new();
+                diagnostic::trace_print(&mut self.tracer, &mut sink, true);
+                self.stdout.push_str(&String::from_utf8_lossy(&sink));
+                Value::Int(0)
+            }
+            // --- libc-ish ---
+            "printf" => {
+                let Some(Value::Str(fmt)) = args.first() else {
+                    return err("printf expects a format string");
+                };
+                let text = format_printf(fmt, &args[1..])?;
+                self.stdout.push_str(&text);
+                Value::Int(0)
+            }
+            "sqrt" => {
+                Value::Double(args.first().ok_or_else(|| missing(name, 1))?.as_double()?.sqrt())
+            }
+            "fabs" => {
+                Value::Double(args.first().ok_or_else(|| missing(name, 1))?.as_double()?.abs())
+            }
+            "fmin" | "min" => {
+                let a = args.first().ok_or_else(|| missing(name, 2))?.clone();
+                let b = args.get(1).ok_or_else(|| missing(name, 2))?.clone();
+                if matches!(a, Value::Double(_)) || matches!(b, Value::Double(_)) {
+                    Value::Double(a.as_double()?.min(b.as_double()?))
+                } else {
+                    Value::Int(a.as_int()?.min(b.as_int()?))
+                }
+            }
+            "fmax" | "max" => {
+                let a = args.first().ok_or_else(|| missing(name, 2))?.clone();
+                let b = args.get(1).ok_or_else(|| missing(name, 2))?.clone();
+                if matches!(a, Value::Double(_)) || matches!(b, Value::Double(_)) {
+                    Value::Double(a.as_double()?.max(b.as_double()?))
+                } else {
+                    Value::Int(a.as_int()?.max(b.as_int()?))
+                }
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(v))
+    }
+
+    /// Store an allocation's base address through an out-parameter
+    /// (`cudaMalloc((void**)&p, n)`), preserving the target pointer's
+    /// declared pointee type so later `p[i]` accesses are typed.
+    fn store_out_pointer(&mut self, place: Place, base: Addr) -> RResult<()> {
+        match &place {
+            Place::Local { frame, name } => {
+                let ty = self.local_pointee_decl(*frame, name).unwrap_or(Type::Char);
+                self.set_var(*frame, name, Value::Ptr(PtrVal::Heap { addr: base, ty }))
+            }
+            Place::Heap { .. } => self.store(
+                &place,
+                Value::Ptr(PtrVal::Heap {
+                    addr: base,
+                    ty: Type::Char,
+                }),
+            ),
+        }
+    }
+
+    /// The declared pointee type of a local pointer variable, recovered
+    /// from the program text (a typed null carries no type at runtime).
+    fn local_pointee_decl(&self, frame: usize, name: &str) -> Option<Type> {
+        // Current runtime value may already be a typed heap pointer.
+        for scope in self.frames[frame].scopes.iter().rev() {
+            if let Some(Value::Ptr(PtrVal::Heap { ty, .. })) = scope.get(name) {
+                return Some(ty.clone());
+            }
+        }
+        // Otherwise scan declarations in the program for `T* name`.
+        fn scan(stmts: &[Stmt], name: &str) -> Option<Type> {
+            for s in stmts {
+                match s {
+                    Stmt::Decl(d) if d.name == name => {
+                        if let Type::Ptr(inner) = &d.ty {
+                            return Some((**inner).clone());
+                        }
+                    }
+                    Stmt::Block(b) => {
+                        if let Some(t) = scan(b, name) {
+                            return Some(t);
+                        }
+                    }
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        if let Some(t) =
+                            scan(then_branch, name).or_else(|| scan(else_branch, name))
+                        {
+                            return Some(t);
+                        }
+                    }
+                    Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                        if let Some(t) = scan(body, name) {
+                            return Some(t);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        for f in self.prog.funcs() {
+            if let Some(body) = &f.body {
+                if let Some(t) = scan(body, name) {
+                    return Some(t);
+                }
+            }
+            for p in &f.params {
+                if p.name == name {
+                    if let Type::Ptr(inner) = &p.ty {
+                        return Some((**inner).clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn eval_call(&mut self, name: &str, args: &[Expr]) -> RResult<Value> {
+        // trace wrappers in value position go through place evaluation so
+        // the access is recorded exactly once.
+        if name == "traceR" || name == "traceW" || name == "traceRW" {
+            let place = self.eval_place(&Expr::Call(name.to_string(), args.to_vec()))?;
+            return self.load(&place);
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(a)?);
+        }
+        self.call(name, vals)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Helpers
+// ----------------------------------------------------------------------
+
+fn ptr_addr(p: &PtrVal) -> u64 {
+    match p {
+        PtrVal::Null => 0,
+        PtrVal::Heap { addr, .. } => *addr,
+        PtrVal::Local { .. } => 0,
+    }
+}
+
+fn ptr_of(v: &Value) -> RResult<Addr> {
+    match v {
+        Value::Ptr(PtrVal::Heap { addr, .. }) => Ok(*addr),
+        Value::Ptr(PtrVal::Null) => Ok(0),
+        other => err(format!("expected a pointer, got {other:?}")),
+    }
+}
+
+fn missing(name: &str, n: usize) -> RunError {
+    RunError {
+        message: format!("`{name}` expects {n} arguments"),
+    }
+}
+
+fn copy_kind(v: i64) -> RResult<CopyKind> {
+    Ok(match v {
+        0 => CopyKind::HostToHost,
+        1 => CopyKind::HostToDevice,
+        2 => CopyKind::DeviceToHost,
+        3 => CopyKind::DeviceToDevice,
+        other => return err(format!("unknown cudaMemcpyKind {other}")),
+    })
+}
+
+fn is_cuda_builtin_struct(n: &str) -> bool {
+    matches!(n, "threadIdx" | "blockIdx" | "blockDim" | "gridDim")
+}
+
+/// Identifier-level builtin constants (the CUDA enum spellings).
+fn builtin_constant(n: &str) -> Option<Value> {
+    Some(match n {
+        "cudaMemcpyHostToHost" => Value::Int(0),
+        "cudaMemcpyHostToDevice" => Value::Int(1),
+        "cudaMemcpyDeviceToHost" => Value::Int(2),
+        "cudaMemcpyDeviceToDevice" => Value::Int(3),
+        "cudaMemAdviseSetReadMostly" => Value::Int(1),
+        "cudaMemAdviseUnsetReadMostly" => Value::Int(2),
+        "cudaMemAdviseSetPreferredLocation" => Value::Int(3),
+        "cudaMemAdviseUnsetPreferredLocation" => Value::Int(4),
+        "cudaMemAdviseSetAccessedBy" => Value::Int(5),
+        "cudaMemAdviseUnsetAccessedBy" => Value::Int(6),
+        "cudaCpuDeviceId" => Value::Int(-1),
+        "cudaSuccess" => Value::Int(0),
+        "NULL" | "nullptr" => Value::Ptr(PtrVal::Null),
+        "out" | "cout" => Value::Str("<stdout>".into()),
+        _ => return None,
+    })
+}
+
+fn default_value(ty: &Type) -> Value {
+    match ty {
+        Type::Double | Type::Float => Value::Double(0.0),
+        Type::Ptr(_) => Value::Ptr(PtrVal::Null),
+        _ => Value::Int(0),
+    }
+}
+
+/// Coerce a value to a declared type (declaration/parameter binding).
+fn coerce(v: Value, ty: &Type) -> Value {
+    match (ty, v) {
+        (Type::Double | Type::Float, Value::Int(n)) => Value::Double(n as f64),
+        (Type::Int | Type::Char | Type::SizeT, Value::Double(d)) => Value::Int(d as i64),
+        (Type::Ptr(inner), Value::Ptr(PtrVal::Heap { addr, ty: t })) => {
+            // Retype pointers on binding into typed declarations (e.g. a
+            // `double* p` receiving the untyped result of cudaMalloc).
+            let want = (**inner).clone();
+            let keep = if want == Type::Void { t } else { want };
+            Value::Ptr(PtrVal::Heap { addr, ty: keep })
+        }
+        (_, v) => v,
+    }
+}
+
+fn cast(v: Value, ty: &Type) -> Value {
+    match ty {
+        Type::Int | Type::Char | Type::SizeT => match v {
+            Value::Double(d) => Value::Int(d as i64),
+            other => other,
+        },
+        Type::Double | Type::Float => match v {
+            Value::Int(n) => Value::Double(n as f64),
+            other => other,
+        },
+        Type::Ptr(inner) => match v {
+            Value::Ptr(PtrVal::Heap { addr, .. }) if **inner != Type::Void => {
+                Value::Ptr(PtrVal::Heap {
+                    addr,
+                    ty: (**inner).clone(),
+                })
+            }
+            other => other,
+        },
+        _ => v,
+    }
+}
+
+fn format_printf(fmt: &str, args: &[Value]) -> RResult<String> {
+    let mut out = String::new();
+    let mut ai = 0usize;
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            Some('d') | Some('i') | Some('u') => {
+                out.push_str(
+                    &args
+                        .get(ai)
+                        .map(|v| v.as_int())
+                        .transpose()?
+                        .unwrap_or(0)
+                        .to_string(),
+                );
+                ai += 1;
+            }
+            Some('f') => {
+                let v = args
+                    .get(ai)
+                    .map(|v| v.as_double())
+                    .transpose()?
+                    .unwrap_or(0.0);
+                out.push_str(&format!("{v:.6}"));
+                ai += 1;
+            }
+            Some('g') => {
+                let v = args
+                    .get(ai)
+                    .map(|v| v.as_double())
+                    .transpose()?
+                    .unwrap_or(0.0);
+                out.push_str(&format!("{v}"));
+                ai += 1;
+            }
+            Some('s') => {
+                if let Some(Value::Str(s)) = args.get(ai) {
+                    out.push_str(s);
+                }
+                ai += 1;
+            }
+            Some('p') => {
+                if let Some(Value::Ptr(p)) = args.get(ai) {
+                    out.push_str(&format!("0x{:x}", ptr_addr(p)));
+                }
+                ai += 1;
+            }
+            other => return err(format!("unsupported printf conversion %{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse, optionally instrument, and run a MiniCU source on a platform.
+pub fn run_source(
+    src: &str,
+    platform: hetsim::Platform,
+    instrumented: bool,
+) -> RResult<(Outcome, Interp)> {
+    let prog = xplacer_lang::parser::parse(src).map_err(|e| RunError {
+        message: e.to_string(),
+    })?;
+    let prog = if instrumented {
+        xplacer_instrument::instrument(&prog).program
+    } else {
+        prog
+    };
+    let machine = Machine::new(platform);
+    let mut interp = Interp::new(prog, machine);
+    let outcome = interp.run_main()?;
+    Ok((outcome, interp))
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,442 @@
+//! Interpreter tests: language semantics, CUDA API behaviour, and the
+//! full instrument-then-run pipeline.
+
+use super::*;
+use hetsim::platform::intel_pascal;
+
+fn run(src: &str) -> Outcome {
+    run_source(src, intel_pascal(), false)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
+}
+
+fn run_instr(src: &str) -> (Outcome, Interp) {
+    run_source(src, intel_pascal(), true).unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    let out = run(
+        r#"
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(10); }
+    "#,
+    );
+    assert_eq!(out.exit, 55);
+}
+
+#[test]
+fn loops_break_continue() {
+    let out = run(
+        r#"
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                s += i;
+            }
+            return s;
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 1 + 3 + 5 + 7 + 9);
+}
+
+#[test]
+fn while_and_ternary() {
+    let out = run(
+        r#"
+        int main() {
+            int x = 0;
+            while (x < 7) { x++; }
+            return x == 7 ? 42 : 0;
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 42);
+}
+
+#[test]
+fn doubles_and_casts() {
+    let out = run(
+        r#"
+        int main() {
+            double x = 3.5;
+            double y = x * 2.0 + 1.0;
+            return (int)y;
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 8);
+}
+
+#[test]
+fn managed_memory_host_access() {
+    let out = run(
+        r#"
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 10 * sizeof(double));
+            for (int i = 0; i < 10; i++) { p[i] = i * 1.5; }
+            double s = 0.0;
+            for (int i = 0; i < 10; i++) { s += p[i]; }
+            cudaFree(p);
+            return (int)s;
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 67); // 1.5 * 45 = 67.5
+    assert_eq!(out.stats.allocs, 1);
+    assert_eq!(out.stats.frees, 1);
+}
+
+#[test]
+fn kernel_launch_and_thread_indexing() {
+    let out = run(
+        r#"
+        __global__ void scale(double* p, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { p[i] = p[i] * 2.0; }
+        }
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 64 * sizeof(double));
+            for (int i = 0; i < 64; i++) { p[i] = 1.0; }
+            scale<<<2, 32>>>(p, 64);
+            cudaDeviceSynchronize();
+            double s = 0.0;
+            for (int i = 0; i < 64; i++) { s += p[i]; }
+            return (int)s;
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 128);
+    assert_eq!(out.stats.kernel_launches, 1);
+    assert!(out.stats.gpu_writes >= 64);
+    // The GPU touch migrated pages; the host read-back migrated back.
+    assert!(out.stats.migrations() >= 2);
+}
+
+#[test]
+fn explicit_device_memory_and_memcpy() {
+    let out = run(
+        r#"
+        __global__ void inc(int* d, int n) {
+            int i = threadIdx.x;
+            if (i < n) { d[i] = d[i] + 1; }
+        }
+        int main() {
+            int* h;
+            int* d;
+            h = (int*)malloc(16 * sizeof(int));
+            cudaMalloc((void**)&d, 16 * sizeof(int));
+            for (int i = 0; i < 16; i++) { h[i] = i; }
+            cudaMemcpy(d, h, 16 * sizeof(int), cudaMemcpyHostToDevice);
+            inc<<<1, 16>>>(d, 16);
+            cudaMemcpy(h, d, 16 * sizeof(int), cudaMemcpyDeviceToHost);
+            int s = 0;
+            for (int i = 0; i < 16; i++) { s += h[i]; }
+            return s;
+        }
+    "#,
+    );
+    assert_eq!(out.exit, (0..16).sum::<i64>() + 16);
+    assert_eq!(out.stats.memcpy_h2d, 1);
+    assert_eq!(out.stats.memcpy_d2h, 1);
+}
+
+#[test]
+fn structs_through_pointers() {
+    let out = run(
+        r#"
+        struct Pair { int* first; int* second; };
+        int main() {
+            Pair* a;
+            cudaMallocManaged((void**)&a, sizeof(Pair));
+            int* x;
+            int* y;
+            cudaMallocManaged((void**)&x, 4 * sizeof(int));
+            cudaMallocManaged((void**)&y, 4 * sizeof(int));
+            a->first = x;
+            a->second = y;
+            a->first[0] = 30;
+            a->second[1] = 12;
+            return a->first[0] + a->second[1];
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 42);
+}
+
+#[test]
+fn pointer_arithmetic() {
+    let out = run(
+        r#"
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 8 * sizeof(double));
+            double* q = p + 3;
+            *q = 5.5;
+            return (int)(p[3] * 2.0);
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 11);
+}
+
+#[test]
+fn increments_and_compound_assign() {
+    let out = run(
+        r#"
+        int main() {
+            int* p;
+            cudaMallocManaged((void**)&p, 4 * sizeof(int));
+            p[0] = 5;
+            (p[0])++;
+            ++(p[0]);
+            p[0] += 10;
+            int x = p[0]++;
+            return x * 100 + p[0];
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 17 * 100 + 18);
+}
+
+#[test]
+fn new_and_delete_lowering() {
+    let out = run(
+        r#"
+        int main() {
+            int* p = new int(2);
+            int v = *p;
+            free(p);
+            double* arr = new double[5];
+            arr[4] = 2.5;
+            return v + (int)(arr[4] * 2.0);
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 7);
+}
+
+#[test]
+fn printf_output() {
+    let out = run(
+        r#"
+        int main() {
+            printf("n=%d x=%g s=%s\n", 7, 2.5, "ok");
+            return 0;
+        }
+    "#,
+    );
+    assert_eq!(out.stdout, "n=7 x=2.5 s=ok\n");
+}
+
+#[test]
+fn mem_advise_constants_work() {
+    let out = run(
+        r#"
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 4096);
+            cudaMemAdvise(p, 4096, cudaMemAdviseSetReadMostly, 0);
+            p[0] = 1.0;
+            return 0;
+        }
+    "#,
+    );
+    assert_eq!(out.exit, 0);
+}
+
+#[test]
+fn runtime_errors_are_reported() {
+    let e = run_source("int main() { int x = 1 / 0; return x; }", intel_pascal(), false)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(e.message.contains("division by zero"));
+
+    let e = run_source(
+        "int main() { int* p; return *p; }",
+        intel_pascal(),
+        false,
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert!(e.message.contains("null pointer"), "{e}");
+
+    let e = run_source(
+        r#"
+        int main() {
+            int* p;
+            cudaMallocManaged((void**)&p, 4);
+            cudaFree(p);
+            return p[0];
+        }
+    "#,
+        intel_pascal(),
+        false,
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert!(e.message.contains("use after free"), "{e}");
+}
+
+#[test]
+fn host_cannot_touch_device_memory() {
+    let e = run_source(
+        r#"
+        int main() {
+            int* d;
+            cudaMalloc((void**)&d, 64);
+            return d[0];
+        }
+    "#,
+        intel_pascal(),
+        false,
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert!(e.message.contains("no access path"), "{e}");
+}
+
+#[test]
+fn infinite_loop_hits_step_budget() {
+    let prog = xplacer_lang::parser::parse("int main() { while (1) { } return 0; }").unwrap();
+    let mut i = Interp::new(prog, Machine::new(intel_pascal()));
+    i.max_steps = 10_000;
+    let e = i.run_main().unwrap_err();
+    assert!(e.message.contains("step budget"));
+}
+
+// ----------------------------------------------------------------------
+// The full pipeline: instrument → run → diagnose
+// ----------------------------------------------------------------------
+
+/// The paper's running example shape: managed memory written by the CPU
+/// and read by the GPU, diagnosed at the end.
+const ALTERNATING_DEMO: &str = r#"
+    struct Pair { double* first; double* second; };
+    __global__ void consume(Pair* a, int n) {
+        int i = threadIdx.x;
+        if (i < n) {
+            a->second[i] = a->first[i] * 2.0;
+        }
+    }
+    int main() {
+        Pair* a;
+        cudaMallocManaged((void**)&a, sizeof(Pair));
+        double* x;
+        double* y;
+        cudaMallocManaged((void**)&x, 32 * sizeof(double));
+        cudaMallocManaged((void**)&y, 32 * sizeof(double));
+        a->first = x;
+        a->second = y;
+        for (int i = 0; i < 32; i++) { a->first[i] = i; }
+        consume<<<1, 32>>>(a, 32);
+        cudaDeviceSynchronize();
+        double s = a->second[31];
+    #pragma xpl diagnostic tracePrint(out; a)
+        return (int)s;
+    }
+"#;
+
+#[test]
+fn instrumented_run_matches_uninstrumented_result() {
+    let plain = run(ALTERNATING_DEMO);
+    let (traced, _) = run_instr(ALTERNATING_DEMO);
+    assert_eq!(plain.exit, 62);
+    assert_eq!(traced.exit, 62);
+}
+
+#[test]
+fn instrumented_run_produces_fig4_style_output() {
+    let (out, _) = run_instr(ALTERNATING_DEMO);
+    assert!(
+        out.stdout.contains("named allocations"),
+        "diagnostic output missing: {}",
+        out.stdout
+    );
+    assert!(out.stdout.contains("a->first"), "{}", out.stdout);
+    assert!(out.stdout.contains("write counts"), "{}", out.stdout);
+    assert!(
+        out.stdout.contains("elements with alternating accesses"),
+        "{}",
+        out.stdout
+    );
+}
+
+#[test]
+fn instrumented_run_detects_alternating_antipattern() {
+    // Analyze before tracePrint resets: use a version without the pragma.
+    let src = ALTERNATING_DEMO.replace("#pragma xpl diagnostic tracePrint(out; a)", "");
+    let (_, interp) = run_instr(&src);
+    let report = xplacer_core::analyze(
+        &interp.tracer.smt,
+        &xplacer_core::AnalysisConfig::default(),
+    );
+    // a->first: CPU-written, GPU-read → alternating. The Pair object
+    // itself also alternates (CPU writes the pointers, GPU reads them).
+    let alternating: Vec<_> = report
+        .of_kind(xplacer_core::FindingKind::Alternating)
+        .collect();
+    assert!(
+        alternating.len() >= 2,
+        "expected alternating findings, got: {report}"
+    );
+}
+
+#[test]
+fn uninstrumented_run_records_nothing() {
+    let src = ALTERNATING_DEMO.replace("#pragma xpl diagnostic tracePrint(out; a)", "");
+    let (out, interp) = run_source(&src, intel_pascal(), false).unwrap();
+    assert_eq!(out.exit, 62);
+    assert_eq!(interp.tracer.tracked(), 0, "no trc* calls → nothing traced");
+}
+
+#[test]
+fn tracer_counts_match_program_structure() {
+    let src = r#"
+        __global__ void touch(double* p, int n) {
+            int i = threadIdx.x;
+            if (i < n) { p[i] = p[i] + 1.0; }
+        }
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 16 * sizeof(double));
+            for (int i = 0; i < 16; i++) { p[i] = 0.0; }
+            touch<<<1, 16>>>(p, 16);
+            return 0;
+        }
+    "#;
+    let (_, interp) = run_instr(src);
+    let summaries = xplacer_core::summarize(&interp.tracer.smt, false);
+    let p = summaries
+        .iter()
+        .find(|s| s.size == 128)
+        .expect("p tracked");
+    // Every f64 word pair written by CPU (init) and by GPU (kernel), and
+    // read by the GPU.
+    assert_eq!(p.writes_c, 32);
+    assert_eq!(p.writes_g, 32);
+    assert_eq!(p.r_cg, 32, "GPU read CPU-written values");
+}
+
+#[test]
+fn simulated_time_advances() {
+    let out = run(
+        r#"
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 4096);
+            for (int i = 0; i < 512; i++) { p[i] = 1.0; }
+            return 0;
+        }
+    "#,
+    );
+    assert!(out.elapsed_ns > 0.0);
+}

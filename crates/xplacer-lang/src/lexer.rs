@@ -1,0 +1,539 @@
+//! Lexer for MiniCU: a C subset with CUDA extensions (`__global__`,
+//! `<<< >>>` kernel launches, `#pragma xpl ...`).
+
+use std::fmt;
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// A `#pragma ...` line, collected verbatim (minus the leading `#`).
+    PragmaLine(String),
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Arrow,
+    Dot,
+    /// `<<<` opening a kernel launch configuration.
+    LaunchOpen,
+    /// `>>>` closing a kernel launch configuration.
+    LaunchClose,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::PragmaLine(p) => write!(f, "#{p}"),
+            other => write!(f, "{}", other.symbol()),
+        }
+    }
+}
+
+impl Tok {
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Colon => ":",
+            Tok::Question => "?",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Assign => "=",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::SlashAssign => "/=",
+            Tok::PlusPlus => "++",
+            Tok::MinusMinus => "--",
+            Tok::Eq => "==",
+            Tok::Ne => "!=",
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Not => "!",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::Arrow => "->",
+            Tok::Dot => ".",
+            Tok::LaunchOpen => "<<<",
+            Tok::LaunchClose => ">>>",
+            Tok::Eof => "<eof>",
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize MiniCU source.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    macro_rules! push {
+        ($k:expr) => {
+            out.push(Token { kind: $k, line })
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == '*' && b[i + 1] == '/') {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= b.len() {
+                    return Err(LexError {
+                        line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                i += 2;
+            }
+            '#' => {
+                // Collect the preprocessor line verbatim (continuations
+                // with trailing backslash are joined).
+                let mut text = String::new();
+                i += 1;
+                loop {
+                    while i < b.len() && b[i] != '\n' {
+                        text.push(b[i]);
+                        i += 1;
+                    }
+                    if text.ends_with('\\') {
+                        text.pop();
+                        line += 1;
+                        i += 1; // consume newline, continue collecting
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::PragmaLine(text.trim().to_string()));
+            }
+            '"' => {
+                let start_line = line;
+                let mut s = String::new();
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        i += 1;
+                        s.push(match b[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            '\\' => '\\',
+                            '"' => '"',
+                            '0' => '\0',
+                            other => other,
+                        });
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        s.push(b[i]);
+                    }
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(LexError {
+                        line: start_line,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                i += 1;
+                push!(Tok::Str(s));
+            }
+            '\'' => {
+                // Character literal → integer token.
+                i += 1;
+                let v = if i < b.len() && b[i] == '\\' {
+                    i += 1;
+                    let v = match b.get(i) {
+                        Some('n') => '\n' as i64,
+                        Some('t') => '\t' as i64,
+                        Some('0') => 0,
+                        Some(&c) => c as i64,
+                        None => 0,
+                    };
+                    i += 1;
+                    v
+                } else {
+                    let v = b.get(i).copied().unwrap_or('\0') as i64;
+                    i += 1;
+                    v
+                };
+                if b.get(i) != Some(&'\'') {
+                    return Err(LexError {
+                        line,
+                        message: "unterminated char literal".into(),
+                    });
+                }
+                i += 1;
+                push!(Tok::Int(v));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '.') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                let is_hex = text.starts_with("0x") || text.starts_with("0X");
+                if !is_hex
+                    && (text.contains('.')
+                        || text.contains('e')
+                        || text.contains('E')
+                        || text.ends_with('f')
+                        || text.ends_with('F'))
+                {
+                    let t = text.trim_end_matches(['f', 'F']);
+                    match t.parse::<f64>() {
+                        Ok(v) => push!(Tok::Float(v)),
+                        Err(_) => {
+                            return Err(LexError {
+                                line,
+                                message: format!("bad float literal `{text}`"),
+                            })
+                        }
+                    }
+                } else {
+                    let t = text
+                        .trim_end_matches(['u', 'U', 'l', 'L']);
+                    let parsed = if let Some(hex) = t.strip_prefix("0x").or(t.strip_prefix("0X")) {
+                        i64::from_str_radix(hex, 16)
+                    } else {
+                        t.parse::<i64>()
+                    };
+                    match parsed {
+                        Ok(v) => push!(Tok::Int(v)),
+                        Err(_) => {
+                            return Err(LexError {
+                                line,
+                                message: format!("bad integer literal `{text}`"),
+                            })
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                push!(Tok::Ident(b[start..i].iter().collect()));
+            }
+            _ => {
+                // Multi-char operators, longest match first.
+                let rest: String = b[i..b.len().min(i + 3)].iter().collect();
+                let (tok, len) = if rest.starts_with("<<<") {
+                    (Tok::LaunchOpen, 3)
+                } else if rest.starts_with(">>>") {
+                    (Tok::LaunchClose, 3)
+                } else if rest.starts_with("<<") {
+                    (Tok::Shl, 2)
+                } else if rest.starts_with(">>") {
+                    (Tok::Shr, 2)
+                } else if rest.starts_with("->") {
+                    (Tok::Arrow, 2)
+                } else if rest.starts_with("++") {
+                    (Tok::PlusPlus, 2)
+                } else if rest.starts_with("--") {
+                    (Tok::MinusMinus, 2)
+                } else if rest.starts_with("==") {
+                    (Tok::Eq, 2)
+                } else if rest.starts_with("!=") {
+                    (Tok::Ne, 2)
+                } else if rest.starts_with("<=") {
+                    (Tok::Le, 2)
+                } else if rest.starts_with(">=") {
+                    (Tok::Ge, 2)
+                } else if rest.starts_with("&&") {
+                    (Tok::AndAnd, 2)
+                } else if rest.starts_with("||") {
+                    (Tok::OrOr, 2)
+                } else if rest.starts_with("+=") {
+                    (Tok::PlusAssign, 2)
+                } else if rest.starts_with("-=") {
+                    (Tok::MinusAssign, 2)
+                } else if rest.starts_with("*=") {
+                    (Tok::StarAssign, 2)
+                } else if rest.starts_with("/=") {
+                    (Tok::SlashAssign, 2)
+                } else {
+                    let t = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ';' => Tok::Semi,
+                        ',' => Tok::Comma,
+                        ':' => Tok::Colon,
+                        '.' => Tok::Dot,
+                        '?' => Tok::Question,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '=' => Tok::Assign,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        '!' => Tok::Not,
+                        '&' => Tok::Amp,
+                        '|' => Tok::Pipe,
+                        '^' => Tok::Caret,
+                        other => {
+                            return Err(LexError {
+                                line,
+                                message: format!("unexpected character `{other}`"),
+                            })
+                        }
+                    };
+                    (t, 1)
+                };
+                push!(tok);
+                i += len;
+            }
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_and_hex_literals() {
+        assert_eq!(
+            kinds("3.5 0x10 2e3 7f"),
+            vec![
+                Tok::Float(3.5),
+                Tok::Int(16),
+                Tok::Float(2000.0),
+                Tok::Float(7.0), // "7f" lexes as a float-suffixed literal
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn kernel_launch_brackets_vs_shifts() {
+        assert_eq!(
+            kinds("k<<<1, 2>>>(p); a << b; a >> b;"),
+            vec![
+                Tok::Ident("k".into()),
+                Tok::LaunchOpen,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Int(2),
+                Tok::LaunchClose,
+                Tok::LParen,
+                Tok::Ident("p".into()),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Ident("a".into()),
+                Tok::Shl,
+                Tok::Ident("b".into()),
+                Tok::Semi,
+                Tok::Ident("a".into()),
+                Tok::Shr,
+                Tok::Ident("b".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn pragmas_collected_verbatim() {
+        let toks = kinds("#pragma xpl diagnostic tracePrint(out; a, z)\nint x;");
+        assert_eq!(
+            toks[0],
+            Tok::PragmaLine("pragma xpl diagnostic tracePrint(out; a, z)".into())
+        );
+    }
+
+    #[test]
+    fn pragma_continuation_lines_joined() {
+        let toks = kinds("#pragma xpl replace \\\n cudaMalloc\nint x;");
+        assert_eq!(toks[0], Tok::PragmaLine("pragma xpl replace  cudaMalloc".into()));
+        // The continuation consumed a newline: x is still lexed.
+        assert!(toks.contains(&Tok::Ident("x".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n/* block\nstill */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb""#),
+            vec![Tok::Str("a\nb".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn char_literals_become_ints() {
+        assert_eq!(kinds("'A' '\\n'"), vec![Tok::Int(65), Tok::Int(10), Tok::Eof]);
+    }
+
+    #[test]
+    fn arrows_and_ops() {
+        assert_eq!(
+            kinds("p->f ++x x-- a+=b"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::Arrow,
+                Tok::Ident("f".into()),
+                Tok::PlusPlus,
+                Tok::Ident("x".into()),
+                Tok::Ident("x".into()),
+                Tok::MinusMinus,
+                Tok::Ident("a".into()),
+                Tok::PlusAssign,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn error_on_stray_character() {
+        assert!(lex("int @").is_err());
+    }
+}

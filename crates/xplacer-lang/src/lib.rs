@@ -1,0 +1,27 @@
+//! # xplacer-lang — the MiniCU front-end
+//!
+//! A C/CUDA subset ("MiniCU") with lexer, parser, AST, semantic helpers,
+//! and unparser — the stand-in for the ROSE source-to-source
+//! infrastructure the paper's instrumentation tool plugs into (§III-B).
+//!
+//! MiniCU covers what the paper's transformations need: functions with
+//! `__global__`/`__device__`/`__host__` qualifiers, structs, pointers,
+//! `kernel<<<grid, block>>>(args)` launches, the CUDA allocation and copy
+//! API as ordinary calls, and `#pragma xpl replace` / `#pragma xpl
+//! diagnostic` directives.
+//!
+//! ```
+//! use xplacer_lang::parser::parse;
+//! let prog = parse("__global__ void k(double* p) { p[threadIdx.x] = 1.0; }").unwrap();
+//! assert!(prog.func("k").unwrap().is_kernel());
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod unparse;
+
+pub use ast::{Expr, Func, Item, Program, Stmt, StructDef, Type, VarDecl, XplPragma};
+pub use parser::{parse, parse_expr, ParseError};
+pub use unparse::{unparse, unparse_expr, unparse_func};

@@ -1,0 +1,248 @@
+//! Rodinia Backprop: one forward/backward pass of a two-layer perceptron.
+//!
+//! Table II findings reproduced structurally:
+//!
+//! * `output_hidden_cuda` is allocated but never used;
+//! * `input_cuda` is copied CPU→GPU and then back CPU←GPU although the
+//!   GPU never modifies it.
+
+use hetsim::{Addr, CopyKind, Machine, TPtr};
+
+use crate::result::RunResult;
+use crate::rodinia::Lcg;
+
+/// Hidden layer width (16 in the original benchmark).
+pub const HID: usize = 16;
+
+/// Problem configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BackpropConfig {
+    /// Input layer size (the paper's Table III uses 640K; harnesses
+    /// scale this down).
+    pub input_n: usize,
+}
+
+impl BackpropConfig {
+    pub fn new(input_n: usize) -> Self {
+        assert!(input_n >= HID && input_n % HID == 0);
+        BackpropConfig { input_n }
+    }
+
+    fn blocks(&self) -> usize {
+        self.input_n / HID
+    }
+}
+
+/// A set-up Backprop problem.
+pub struct Backprop {
+    pub cfg: BackpropConfig,
+    pub input_host: TPtr<f32>,
+    pub weights_host: TPtr<f32>,
+    /// Device copy of the inputs — read-only on the GPU, yet copied back.
+    pub input_cuda: TPtr<f32>,
+    /// Allocated and never touched (the Table II finding).
+    pub output_hidden_cuda: TPtr<f32>,
+    pub input_hidden_cuda: TPtr<f32>,
+    pub hidden_partial_sum: TPtr<f32>,
+    /// CPU-side reduction of the partial sums, filled by `run`.
+    hidden_acc: Vec<f32>,
+}
+
+impl Backprop {
+    pub fn setup(m: &mut Machine, cfg: BackpropConfig) -> Self {
+        let n = cfg.input_n;
+        let mut rng = Lcg::new(11);
+        let input_host = m.alloc_host::<f32>(n);
+        let weights_host = m.alloc_host::<f32>((n + 1) * HID);
+        for i in 0..n {
+            m.poke(input_host, i, rng.next_f64() as f32);
+        }
+        for i in 0..(n + 1) * HID {
+            m.poke(weights_host, i, (rng.next_f64() - 0.5) as f32);
+        }
+        let input_cuda = m.alloc_device::<f32>(n);
+        let output_hidden_cuda = m.alloc_device::<f32>(HID + 1);
+        let input_hidden_cuda = m.alloc_device::<f32>((n + 1) * HID);
+        let hidden_partial_sum = m.alloc_device::<f32>(cfg.blocks() * HID);
+        Backprop {
+            cfg,
+            input_host,
+            weights_host,
+            input_cuda,
+            output_hidden_cuda,
+            input_hidden_cuda,
+            hidden_partial_sum,
+            hidden_acc: Vec::new(),
+        }
+    }
+
+    pub fn names(&self) -> Vec<(Addr, String)> {
+        vec![
+            (self.input_cuda.addr, "input_cuda".into()),
+            (self.output_hidden_cuda.addr, "output_hidden_cuda".into()),
+            (self.input_hidden_cuda.addr, "input_hidden_cuda".into()),
+            (self.hidden_partial_sum.addr, "hidden_partial_sum".into()),
+        ]
+    }
+
+    /// One training pass, transfers included — structured exactly like
+    /// the original `bpnn_train_cuda`.
+    pub fn run(&mut self, m: &mut Machine) {
+        let n = self.cfg.input_n;
+        let blocks = self.cfg.blocks();
+        let (input_cuda, weights_cuda, partial) =
+            (self.input_cuda, self.input_hidden_cuda, self.hidden_partial_sum);
+
+        // Transfers in (including the input that will make a round trip).
+        m.memcpy(input_cuda, self.input_host, n, CopyKind::HostToDevice);
+        m.memcpy(
+            weights_cuda,
+            self.weights_host,
+            (n + 1) * HID,
+            CopyKind::HostToDevice,
+        );
+
+        // Forward kernel: per-block partial sums of w[i][h] * x[i].
+        m.launch("bpnn_layerforward_CUDA", n, |t, m| {
+            let b = t / HID;
+            let x = m.ld(input_cuda, t);
+            for h in 0..HID {
+                let w = m.ld(weights_cuda, (t + 1) * HID + h);
+                let acc = m.ld(partial, b * HID + h);
+                m.st(partial, b * HID + h, acc + w * x);
+                m.compute(2);
+            }
+        });
+
+        // Weight-adjust kernel (backward pass): reads inputs, updates
+        // weights in place.
+        m.launch("bpnn_adjust_weights_cuda", n, |t, m| {
+            let x = m.ld(input_cuda, t);
+            for h in 0..HID {
+                let idx = (t + 1) * HID + h;
+                let w = m.ld(weights_cuda, idx);
+                m.st(weights_cuda, idx, w + 0.3 * 0.01 * x);
+                m.compute(3);
+            }
+        });
+
+        // Transfers out: partial sums, updated weights — and the *input*,
+        // which the GPU never wrote (the unnecessary transfer).
+        let partial_host = m.alloc_host::<f32>(blocks * HID);
+        m.memcpy(
+            partial_host,
+            partial,
+            blocks * HID,
+            CopyKind::DeviceToHost,
+        );
+        m.memcpy(
+            self.weights_host,
+            weights_cuda,
+            (n + 1) * HID,
+            CopyKind::DeviceToHost,
+        );
+        m.memcpy(self.input_host, input_cuda, n, CopyKind::DeviceToHost);
+
+        // CPU reduces the partial sums into hidden-unit activations.
+        let mut acc = vec![0f32; HID];
+        for b in 0..blocks {
+            for (h, a) in acc.iter_mut().enumerate() {
+                *a += m.ld(partial_host, b * HID + h);
+            }
+        }
+        self.hidden_acc = acc;
+        m.free(partial_host);
+    }
+
+    /// Verification scalar: sum of hidden activations.
+    pub fn check(&self) -> f64 {
+        self.hidden_acc.iter().map(|&v| v as f64).sum()
+    }
+}
+
+/// Plain-Rust reference of the forward pass for verification.
+pub fn cpu_reference(cfg: BackpropConfig) -> f64 {
+    let n = cfg.input_n;
+    let mut rng = Lcg::new(11);
+    let input: Vec<f32> = (0..n).map(|_| rng.next_f64() as f32).collect();
+    let weights: Vec<f32> = (0..(n + 1) * HID)
+        .map(|_| (rng.next_f64() - 0.5) as f32)
+        .collect();
+    let mut acc = vec![0f32; HID];
+    for (t, &x) in input.iter().enumerate() {
+        for (h, a) in acc.iter_mut().enumerate() {
+            *a += weights[(t + 1) * HID + h] * x;
+        }
+    }
+    acc.iter().map(|&v| v as f64).sum()
+}
+
+/// Set up, run, and summarize one Backprop execution.
+pub fn run_backprop(m: &mut Machine, cfg: BackpropConfig) -> RunResult {
+    let mut b = Backprop::setup(m, cfg);
+    m.reset_metrics();
+    b.run(m);
+    let elapsed_ns = m.elapsed_ns();
+    RunResult {
+        name: "backprop".into(),
+        elapsed_ns,
+        stats: m.stats.clone(),
+        check: b.check(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::platform::intel_pascal;
+
+    #[test]
+    fn matches_cpu_reference() {
+        let cfg = BackpropConfig::new(256);
+        let mut m = Machine::new(intel_pascal());
+        let r = run_backprop(&mut m, cfg);
+        let want = cpu_reference(cfg);
+        // Summation order matches exactly (block-major on both sides).
+        assert!(
+            (r.check - want).abs() < 1e-3,
+            "got {} want {want}",
+            r.check
+        );
+    }
+
+    #[test]
+    fn output_hidden_never_touched() {
+        let cfg = BackpropConfig::new(128);
+        let mut m = Machine::new(intel_pascal());
+        let mut b = Backprop::setup(&mut m, cfg);
+        let before = m.stats.clone();
+        b.run(&mut m);
+        let _ = before;
+        // The buffer's backing bytes are still all zero and no access
+        // path ever targeted it (would have panicked on CPU access).
+        for i in 0..HID + 1 {
+            assert_eq!(m.peek(b.output_hidden_cuda, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn input_round_trips_unmodified() {
+        let cfg = BackpropConfig::new(128);
+        let mut m = Machine::new(intel_pascal());
+        let mut b = Backprop::setup(&mut m, cfg);
+        let orig: Vec<f32> = (0..cfg.input_n).map(|i| m.peek(b.input_host, i)).collect();
+        b.run(&mut m);
+        for (i, &o) in orig.iter().enumerate() {
+            assert_eq!(m.peek(b.input_host, i), o);
+        }
+        // Two H2D and three D2H copies happened.
+        assert_eq!(m.stats.memcpy_h2d, 2);
+        assert_eq!(m.stats.memcpy_d2h, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "input_n")]
+    fn config_requires_multiple_of_hid() {
+        let _ = BackpropConfig::new(100);
+    }
+}

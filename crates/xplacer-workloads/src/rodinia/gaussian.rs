@@ -1,0 +1,259 @@
+//! Rodinia Gaussian elimination (paper §IV-C).
+//!
+//! Table II finding reproduced structurally: the multiplier matrix
+//! `m_cuda` is allocated on the CPU and transferred to the GPU, but the
+//! `Fan1` kernel overwrites every transferred value before any use — the
+//! initial transfer can be eliminated.
+
+use hetsim::{Addr, CopyKind, Machine, TPtr};
+
+use crate::result::RunResult;
+use crate::rodinia::Lcg;
+
+/// Problem configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianConfig {
+    /// Matrix dimension (the paper's Table III uses 100 and 1000).
+    pub n: usize,
+}
+
+impl GaussianConfig {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        GaussianConfig { n }
+    }
+}
+
+/// Generate a diagonally dominant system so elimination is stable.
+pub fn gen_system(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = Lcg::new(seed);
+    let mut a = vec![0f64; n * n];
+    let mut b = vec![0f64; n];
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = rng.next_f64() - 0.5;
+                a[i * n + j] = v;
+                row_sum += v.abs();
+            }
+        }
+        a[i * n + i] = row_sum + 1.0;
+        b[i] = rng.next_f64() * 10.0;
+    }
+    (a, b)
+}
+
+/// Plain-Rust reference solver (same elimination order as the kernels).
+pub fn cpu_reference(n: usize, seed: u64) -> Vec<f64> {
+    let (mut a, mut b) = gen_system(n, seed);
+    let mut mult = vec![0f64; n * n];
+    for t in 0..n - 1 {
+        for i in t + 1..n {
+            mult[i * n + t] = a[i * n + t] / a[t * n + t];
+        }
+        for i in t + 1..n {
+            for j in 0..n {
+                a[i * n + j] -= mult[i * n + t] * a[t * n + j];
+            }
+            b[i] -= mult[i * n + t] * b[t];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0f64; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in i + 1..n {
+            s -= a[i * n + j] * x[j];
+        }
+        x[i] = s / a[i * n + i];
+    }
+    x
+}
+
+/// A set-up Gaussian elimination problem.
+pub struct Gaussian {
+    pub cfg: GaussianConfig,
+    pub a_host: TPtr<f64>,
+    pub b_host: TPtr<f64>,
+    pub m_host: TPtr<f64>,
+    pub a_cuda: TPtr<f64>,
+    pub b_cuda: TPtr<f64>,
+    /// The multiplier matrix whose inbound transfer is unnecessary.
+    pub m_cuda: TPtr<f64>,
+    solution: Vec<f64>,
+}
+
+impl Gaussian {
+    pub fn setup(m: &mut Machine, cfg: GaussianConfig) -> Self {
+        let n = cfg.n;
+        let (a, b) = gen_system(n, 23);
+        let a_host = m.alloc_host::<f64>(n * n);
+        let b_host = m.alloc_host::<f64>(n);
+        let m_host = m.alloc_host::<f64>(n * n);
+        for (i, &v) in a.iter().enumerate() {
+            m.poke(a_host, i, v);
+        }
+        for (i, &v) in b.iter().enumerate() {
+            m.poke(b_host, i, v);
+        }
+        // The original zeroes m on the host before transferring it.
+        let a_cuda = m.alloc_device::<f64>(n * n);
+        let b_cuda = m.alloc_device::<f64>(n);
+        let m_cuda = m.alloc_device::<f64>(n * n);
+        Gaussian {
+            cfg,
+            a_host,
+            b_host,
+            m_host,
+            a_cuda,
+            b_cuda,
+            m_cuda,
+            solution: Vec::new(),
+        }
+    }
+
+    pub fn names(&self) -> Vec<(Addr, String)> {
+        vec![
+            (self.a_cuda.addr, "a_cuda".into()),
+            (self.b_cuda.addr, "b_cuda".into()),
+            (self.m_cuda.addr, "m_cuda".into()),
+        ]
+    }
+
+    /// Forward elimination on the GPU + CPU back substitution.
+    pub fn run(&mut self, m: &mut Machine) {
+        let n = self.cfg.n;
+        let (a_cuda, b_cuda, m_cuda) = (self.a_cuda, self.b_cuda, self.m_cuda);
+
+        // Host zeroes m, then transfers everything in — including the
+        // zeros the GPU will overwrite before reading (the finding).
+        for i in 0..n * n {
+            m.st(self.m_host, i, 0.0);
+        }
+        m.memcpy(self.a_cuda, self.a_host, n * n, CopyKind::HostToDevice);
+        m.memcpy(self.b_cuda, self.b_host, n, CopyKind::HostToDevice);
+        m.memcpy(self.m_cuda, self.m_host, n * n, CopyKind::HostToDevice);
+
+        for t in 0..n - 1 {
+            // Fan1: compute the multiplier column — writes m_cuda without
+            // ever reading the transferred zeros.
+            m.launch("Fan1", n - t - 1, |k, m| {
+                let i = t + 1 + k;
+                let num = m.ld(a_cuda, i * n + t);
+                let den = m.ld(a_cuda, t * n + t);
+                m.st(m_cuda, i * n + t, num / den);
+                m.compute(1);
+            });
+            // Fan2: eliminate below the pivot.
+            m.launch("Fan2", (n - t - 1) * n, |k, m| {
+                let i = t + 1 + k / n;
+                let j = k % n;
+                let mult = m.ld(m_cuda, i * n + t);
+                let piv = m.ld(a_cuda, t * n + j);
+                let cur = m.ld(a_cuda, i * n + j);
+                m.st(a_cuda, i * n + j, cur - mult * piv);
+                m.compute(2);
+                if j == 0 {
+                    let bp = m.ld(b_cuda, t);
+                    let bi = m.ld(b_cuda, i);
+                    m.st(b_cuda, i, bi - mult * bp);
+                }
+            });
+        }
+
+        // Transfer the triangular system back and back-substitute on the
+        // CPU, exactly like the original.
+        m.memcpy(self.a_host, a_cuda, n * n, CopyKind::DeviceToHost);
+        m.memcpy(self.b_host, b_cuda, n, CopyKind::DeviceToHost);
+        let mut x = vec![0f64; n];
+        for i in (0..n).rev() {
+            let mut s = m.ld(self.b_host, i);
+            for j in i + 1..n {
+                s -= m.ld(self.a_host, i * n + j) * x[j];
+            }
+            x[i] = s / m.ld(self.a_host, i * n + i);
+            m.compute((n - i) as u64);
+        }
+        self.solution = x;
+    }
+
+    /// Verification scalar: sum of the solution vector.
+    pub fn check(&self) -> f64 {
+        self.solution.iter().sum()
+    }
+
+    /// The computed solution.
+    pub fn solution(&self) -> &[f64] {
+        &self.solution
+    }
+}
+
+/// Set up, run, and summarize one Gaussian execution.
+pub fn run_gaussian(m: &mut Machine, cfg: GaussianConfig) -> RunResult {
+    let mut g = Gaussian::setup(m, cfg);
+    m.reset_metrics();
+    g.run(m);
+    let elapsed_ns = m.elapsed_ns();
+    RunResult {
+        name: "gaussian".into(),
+        elapsed_ns,
+        stats: m.stats.clone(),
+        check: g.check(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::platform::intel_pascal;
+
+    #[test]
+    fn solves_the_system() {
+        let cfg = GaussianConfig::new(24);
+        let mut m = Machine::new(intel_pascal());
+        let mut g = Gaussian::setup(&mut m, cfg);
+        g.run(&mut m);
+        let want = cpu_reference(cfg.n, 23);
+        for (i, (&got, &w)) in g.solution().iter().zip(&want).enumerate() {
+            assert!((got - w).abs() < 1e-9, "x[{i}]: {got} vs {w}");
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_original_system() {
+        let cfg = GaussianConfig::new(16);
+        let mut m = Machine::new(intel_pascal());
+        let mut g = Gaussian::setup(&mut m, cfg);
+        g.run(&mut m);
+        let (a, b) = gen_system(cfg.n, 23);
+        for i in 0..cfg.n {
+            let lhs: f64 = (0..cfg.n)
+                .map(|j| a[i * cfg.n + j] * g.solution()[j])
+                .sum();
+            assert!((lhs - b[i]).abs() < 1e-8, "row {i}: {lhs} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn diagonally_dominant_generation() {
+        let (a, _) = gen_system(10, 5);
+        for i in 0..10 {
+            let off: f64 = (0..10)
+                .filter(|&j| j != i)
+                .map(|j| a[i * 10 + j].abs())
+                .sum();
+            assert!(a[i * 10 + i].abs() > off);
+        }
+    }
+
+    #[test]
+    fn transfers_match_original_structure() {
+        let cfg = GaussianConfig::new(12);
+        let mut m = Machine::new(intel_pascal());
+        let r = run_gaussian(&mut m, cfg);
+        assert_eq!(r.stats.memcpy_h2d, 3); // a, b, m
+        assert_eq!(r.stats.memcpy_d2h, 2); // a, b
+        assert_eq!(r.stats.kernel_launches as usize, 2 * (cfg.n - 1));
+    }
+}

@@ -1,0 +1,236 @@
+//! Rodinia LUD: in-place LU decomposition (paper §IV-C).
+//!
+//! Table II findings reproduced structurally:
+//!
+//! * the matrix is initialized on the CPU, transferred to the GPU,
+//!   recomputed there, and transferred back — but the *first row is
+//!   never updated* (U's row 0 equals A's row 0), so part of the
+//!   outbound transfer is unnecessary;
+//! * the GPU touches most of the matrix in early iterations and fewer
+//!   and fewer locations as the decomposition progresses (the shrinking
+//!   trailing submatrix) — visible as decreasing per-iteration density.
+
+use hetsim::{Addr, CopyKind, Machine, TPtr};
+
+use crate::result::RunResult;
+use crate::rodinia::Lcg;
+
+/// Problem configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LudConfig {
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+impl LudConfig {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        LudConfig { n }
+    }
+}
+
+/// Generate a well-conditioned matrix (diagonally dominant).
+pub fn gen_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Lcg::new(seed);
+    let mut a = vec![0f64; n * n];
+    for i in 0..n {
+        let mut row = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = rng.next_f64() - 0.5;
+                a[i * n + j] = v;
+                row += v.abs();
+            }
+        }
+        a[i * n + i] = row + 1.0;
+    }
+    a
+}
+
+/// Plain-Rust in-place Doolittle LU, same update order as the kernels.
+pub fn cpu_reference(n: usize, seed: u64) -> Vec<f64> {
+    let mut a = gen_matrix(n, seed);
+    for k in 0..n - 1 {
+        for i in k + 1..n {
+            a[i * n + k] /= a[k * n + k];
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                a[i * n + j] -= a[i * n + k] * a[k * n + j];
+            }
+        }
+    }
+    a
+}
+
+/// A set-up LUD problem.
+pub struct Lud {
+    pub cfg: LudConfig,
+    pub m_host: TPtr<f64>,
+    /// The device matrix (`m_d` in the original).
+    pub m_d: TPtr<f64>,
+    original: Vec<f64>,
+}
+
+impl Lud {
+    pub fn setup(m: &mut Machine, cfg: LudConfig) -> Self {
+        let n = cfg.n;
+        let a = gen_matrix(n, 31);
+        let m_host = m.alloc_host::<f64>(n * n);
+        for (i, &v) in a.iter().enumerate() {
+            m.poke(m_host, i, v);
+        }
+        let m_d = m.alloc_device::<f64>(n * n);
+        Lud {
+            cfg,
+            m_host,
+            m_d,
+            original: a,
+        }
+    }
+
+    pub fn names(&self) -> Vec<(Addr, String)> {
+        vec![(self.m_d.addr, "m_d".into()), (self.m_host.addr, "m".into())]
+    }
+
+    /// Transfer in, decompose on the GPU, transfer out. `per_iter(k, m)`
+    /// fires after each elimination step (for the shrinking-access-set
+    /// analysis).
+    pub fn run(&mut self, m: &mut Machine, mut per_iter: impl FnMut(usize, &mut Machine)) {
+        let n = self.cfg.n;
+        let m_d = self.m_d;
+        m.memcpy(self.m_d, self.m_host, n * n, CopyKind::HostToDevice);
+
+        for k in 0..n - 1 {
+            // lud_perimeter: scale the k-th column below the diagonal.
+            m.launch("lud_perimeter", n - k - 1, |t, m| {
+                let i = k + 1 + t;
+                let v = m.ld(m_d, i * n + k);
+                let d = m.ld(m_d, k * n + k);
+                m.st(m_d, i * n + k, v / d);
+                m.compute(1);
+            });
+            // lud_internal: rank-1 update of the trailing submatrix.
+            let w = n - k - 1;
+            m.launch("lud_internal", w * w, |t, m| {
+                let i = k + 1 + t / w;
+                let j = k + 1 + t % w;
+                let l = m.ld(m_d, i * n + k);
+                let u = m.ld(m_d, k * n + j);
+                let cur = m.ld(m_d, i * n + j);
+                m.st(m_d, i * n + j, cur - l * u);
+                m.compute(2);
+            });
+            per_iter(k, m);
+        }
+
+        // Transfer the whole factorized matrix back — including the
+        // never-updated first row.
+        m.memcpy(self.m_host, self.m_d, n * n, CopyKind::DeviceToHost);
+    }
+
+    /// Verification: reconstruct L*U and compare to the original matrix;
+    /// returns the max absolute residual (small when correct).
+    pub fn residual(&self, m: &mut Machine) -> f64 {
+        let n = self.cfg.n;
+        let mut lu = vec![0f64; n * n];
+        for i in 0..n * n {
+            lu[i] = m.peek(self.m_host, i);
+        }
+        let mut worst: f64 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu[i * n + k] };
+                    let u = lu[k * n + j];
+                    s += if k == i { u } else { l * u };
+                }
+                worst = worst.max((s - self.original[i * n + j]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Checksum of the factorized matrix.
+    pub fn check(&self, m: &mut Machine) -> f64 {
+        let n = self.cfg.n;
+        let mut s = 0.0;
+        for i in 0..n * n {
+            s += m.peek(self.m_host, i);
+        }
+        s
+    }
+}
+
+/// Set up, run, and summarize one LUD execution.
+pub fn run_lud(m: &mut Machine, cfg: LudConfig) -> RunResult {
+    let mut l = Lud::setup(m, cfg);
+    m.reset_metrics();
+    l.run(m, |_, _| {});
+    let elapsed_ns = m.elapsed_ns();
+    let check = l.check(m);
+    RunResult {
+        name: "lud".into(),
+        elapsed_ns,
+        stats: m.stats.clone(),
+        check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::platform::intel_pascal;
+
+    #[test]
+    fn factorization_matches_reference() {
+        let cfg = LudConfig::new(20);
+        let mut m = Machine::new(intel_pascal());
+        let mut l = Lud::setup(&mut m, cfg);
+        l.run(&mut m, |_, _| {});
+        let want = cpu_reference(cfg.n, 31);
+        for i in 0..cfg.n * cfg.n {
+            let got = m.peek(l.m_host, i);
+            assert!((got - want[i]).abs() < 1e-12, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_residual_is_small() {
+        let cfg = LudConfig::new(16);
+        let mut m = Machine::new(intel_pascal());
+        let mut l = Lud::setup(&mut m, cfg);
+        l.run(&mut m, |_, _| {});
+        assert!(l.residual(&mut m) < 1e-9);
+    }
+
+    #[test]
+    fn first_row_never_written_by_gpu() {
+        let cfg = LudConfig::new(12);
+        let mut m = Machine::new(intel_pascal());
+        let mut l = Lud::setup(&mut m, cfg);
+        let before: Vec<f64> = (0..cfg.n).map(|j| l.original[j]).collect();
+        l.run(&mut m, |_, _| {});
+        for (j, &b) in before.iter().enumerate() {
+            assert_eq!(m.peek(l.m_host, j), b, "first-row column {j} changed");
+        }
+    }
+
+    #[test]
+    fn per_iteration_work_shrinks() {
+        let cfg = LudConfig::new(16);
+        let mut m = Machine::new(intel_pascal());
+        let mut l = Lud::setup(&mut m, cfg);
+        let mut writes_per_iter = Vec::new();
+        let mut last = 0;
+        l.run(&mut m, |_, m| {
+            writes_per_iter.push(m.stats.gpu_writes - last);
+            last = m.stats.gpu_writes;
+        });
+        // Strictly decreasing GPU write counts: the shrinking access set.
+        for w in writes_per_iter.windows(2) {
+            assert!(w[1] < w[0], "access set did not shrink: {writes_per_iter:?}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Rodinia CUDA benchmark subset (paper §IV-C, Table II): Backprop, CFD,
+//! Gaussian, LUD, NN, and Pathfinder, each ported with the allocation,
+//! transfer, and kernel structure that XPlacer's findings hinge on.
+
+pub mod backprop;
+pub mod cfd;
+pub mod gaussian;
+pub mod lud;
+pub mod nn;
+pub mod pathfinder;
+
+/// Small deterministic generator for benchmark inputs (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_in_range() {
+        let mut a = Lcg::new(7);
+        let mut b = Lcg::new(7);
+        for _ in 0..100 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lcg_bounded() {
+        let mut g = Lcg::new(3);
+        for _ in 0..100 {
+            assert!(g.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(Lcg::new(1).next_u64(), Lcg::new(2).next_u64());
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared helpers for the runnable examples. The interesting code lives
+//! in the sibling binaries:
+//!
+//! * `quickstart.rs` — tracing a tiny CPU+GPU program and reading the
+//!   diagnostics (start here);
+//! * `lulesh_tour.rs` — the paper's LULESH case study end to end:
+//!   diagnose the ping-pong, apply remedies, compare platforms;
+//! * `find_antipatterns.rs` — the source-instrumentation pipeline on a
+//!   MiniCU program: instrument, run, report;
+//! * `instrument_source.rs` — what the XPlacer pass does to source code.
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,24 @@
+// Anti-pattern #3: memory is copied to the GPU but half of it is never
+// consumed, and the unmodified input is copied back. Run with:
+//   xplacer analyze examples/mini/unnecessary_transfer.cu
+
+__global__ void use_front_half(int* buf, int n) {
+    int i = threadIdx.x;
+    if (i < n / 2) {
+        buf[i] = buf[i] * 2;
+    }
+}
+
+int main() {
+    int* host = (int*)malloc(256 * sizeof(int));
+    int* dev;
+    cudaMalloc((void**)&dev, 256 * sizeof(int));
+    for (int i = 0; i < 256; i++) {
+        host[i] = i;
+    }
+    cudaMemcpy(dev, host, 256 * sizeof(int), cudaMemcpyHostToDevice);
+    use_front_half<<<1, 256>>>(dev, 256);
+    cudaMemcpy(host, dev, 256 * sizeof(int), cudaMemcpyDeviceToHost);
+#pragma xpl diagnostic tracePrint(out; dev)
+    return host[0];
+}

@@ -1,0 +1,84 @@
+//! Quickstart: trace a small CPU+GPU program and read XPlacer's
+//! diagnostics.
+//!
+//! ```sh
+//! cargo run --release -p xplacer-examples --bin quickstart
+//! ```
+
+use hetsim::{platform, Machine, MemAdvise};
+use xplacer_core::{analyze, attach_tracer, format_fig4, summarize, AnalysisConfig};
+use xplacer_examples::banner;
+
+fn main() {
+    // 1. Build a simulated heterogeneous node (Intel CPU + Pascal GPU
+    //    over PCIe, one of the paper's three testbeds).
+    let mut m = Machine::new(platform::intel_pascal());
+
+    // 2. Attach the XPlacer tracer — the equivalent of compiling your
+    //    code through the instrumentation pass.
+    let tracer = attach_tracer(&mut m);
+
+    // 3. Write an ordinary CUDA-style program against the machine.
+    banner("running a program with an access anti-pattern");
+    let data = m.alloc_managed::<f64>(1024);
+    tracer.borrow_mut().name(data.addr, "data");
+
+    let result = m.alloc_managed::<f64>(1024);
+    tracer.borrow_mut().name(result.addr, "result");
+
+    // CPU initializes the inputs...
+    for i in 0..1024 {
+        m.st(data, i, i as f64);
+    }
+    // ...the GPU reads them and produces results...
+    for step in 0..3 {
+        m.launch("scale", 1024, |i, m| {
+            let v = m.ld(data, i);
+            m.st(result, i, v * 0.99 + 0.01);
+            m.compute(4);
+        });
+        // ...and the CPU nudges one input between kernels. This is the
+        // paper's anti-pattern #1: the input page ping-pongs.
+        m.st(data, step, step as f64);
+    }
+
+    // 4. Read the diagnostics (the paper's Fig. 4 output format).
+    banner("diagnostic summary (tracePrint)");
+    let summaries = summarize(&tracer.borrow().smt, true);
+    print!("{}", format_fig4(&summaries));
+
+    // 5. Run the anti-pattern detectors.
+    banner("anti-pattern report");
+    let report = analyze(&tracer.borrow().smt, &AnalysisConfig::default());
+    print!("{report}");
+
+    // 6. Apply the suggested remedy and compare simulated performance.
+    banner("applying cudaMemAdviseSetReadMostly and re-running");
+    let before = rerun(false);
+    let after = rerun(true);
+    println!("baseline:    {:>10.1} us simulated", before / 1e3);
+    println!("read-mostly: {:>10.1} us simulated", after / 1e3);
+    println!("speedup:     {:>10.2}x", before / after);
+}
+
+/// The same program, optionally with the remedy applied, untraced.
+fn rerun(advise: bool) -> f64 {
+    let mut m = Machine::new(platform::intel_pascal());
+    let data = m.alloc_managed::<f64>(1024);
+    let result = m.alloc_managed::<f64>(1024);
+    if advise {
+        m.mem_advise(data, MemAdvise::SetReadMostly);
+    }
+    for i in 0..1024 {
+        m.st(data, i, i as f64);
+    }
+    for step in 0..3 {
+        m.launch("scale", 1024, |i, m| {
+            let v = m.ld(data, i);
+            m.st(result, i, v * 0.99 + 0.01);
+            m.compute(4);
+        });
+        m.st(data, step, step as f64);
+    }
+    m.elapsed_ns()
+}

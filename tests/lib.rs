@@ -1,0 +1,20 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use hetsim::{platform, Machine, Platform};
+
+/// The default test platform (Intel + Pascal, the paper's primary
+/// testbed).
+pub fn test_platform() -> Platform {
+    platform::intel_pascal()
+}
+
+/// A machine on the default test platform.
+pub fn test_machine() -> Machine {
+    Machine::new(test_platform())
+}
+
+/// Run a MiniCU source instrumented and return the interpreter for
+/// inspection; panics on any error with the message inline.
+pub fn run_traced(src: &str) -> (xplacer_interp::Outcome, xplacer_interp::Interp) {
+    xplacer_interp::run_source(src, test_platform(), true).unwrap_or_else(|e| panic!("{e}"))
+}
