@@ -1,0 +1,18 @@
+#!/bin/sh
+# Pre-PR gate: formatting, lints, release build, full test suite.
+# Run from the repository root; exits non-zero on the first failure.
+set -eu
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci: all checks passed"

@@ -67,7 +67,11 @@ fn bench_diagnostic(c: &mut Criterion) {
     // Summarizing a LULESH-sized table (50 allocations).
     let mut t = Tracer::new();
     for i in 0..50u64 {
-        t.on_alloc(0x10_0000 + i * 0x100000, 64 * 1024, hetsim::AllocKind::Managed);
+        t.on_alloc(
+            0x10_0000 + i * 0x100000,
+            64 * 1024,
+            hetsim::AllocKind::Managed,
+        );
         for w in 0..1000u64 {
             t.trace_w(Device::Cpu, 0x10_0000 + i * 0x100000 + w * 8, 8);
         }
@@ -85,5 +89,10 @@ fn bench_diagnostic(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_machine_access, bench_trace_calls, bench_diagnostic);
+criterion_group!(
+    benches,
+    bench_machine_access,
+    bench_trace_calls,
+    bench_diagnostic
+);
 criterion_main!(benches);

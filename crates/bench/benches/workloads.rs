@@ -8,9 +8,7 @@ use std::hint::black_box;
 use hetsim::{platform, Machine};
 use xplacer_core::attach_tracer;
 use xplacer_workloads::lulesh::{run_lulesh, LuleshConfig, LuleshVariant};
-use xplacer_workloads::rodinia::pathfinder::{
-    run_pathfinder, PathfinderConfig, PathfinderVariant,
-};
+use xplacer_workloads::rodinia::pathfinder::{run_pathfinder, PathfinderConfig, PathfinderVariant};
 use xplacer_workloads::smith_waterman::{run_sw, SwConfig, SwVariant};
 
 fn bench_lulesh(c: &mut Criterion) {
@@ -111,7 +109,10 @@ fn bench_minicu_pipeline(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 black_box(
-                    xplacer_interp::run_source(src, platform::intel_pascal(), traced).unwrap().0.exit,
+                    xplacer_interp::run_source(src, platform::intel_pascal(), traced)
+                        .unwrap()
+                        .0
+                        .exit,
                 )
             });
         });

@@ -2,7 +2,10 @@
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     if full {
-        print!("{}", xplacer_bench::figs::fig04_lulesh_diagnostic::full_report());
+        print!(
+            "{}",
+            xplacer_bench::figs::fig04_lulesh_diagnostic::full_report()
+        );
     } else {
         print!("{}", xplacer_bench::figs::fig04_lulesh_diagnostic::report());
     }

@@ -1,5 +1,8 @@
 //! Regenerates Fig. 6 of the paper. Pass `--quick` for a reduced sweep.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    print!("{}", xplacer_bench::figs::fig06_lulesh_speedup::report(quick));
+    print!(
+        "{}",
+        xplacer_bench::figs::fig06_lulesh_speedup::report(quick)
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates Fig. 11: Pathfinder overlapped-transfer speedups.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    print!("{}", xplacer_bench::figs::fig11_pathfinder_speedup::report(quick));
+    print!(
+        "{}",
+        xplacer_bench::figs::fig11_pathfinder_speedup::report(quick)
+    );
 }

@@ -12,19 +12,53 @@ fn main() {
     let outdir = std::path::Path::new("results");
     let _ = fs::create_dir_all(outdir);
 
-    let experiments: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+    type Experiment = (&'static str, Box<dyn Fn() -> String>);
+    let experiments: Vec<Experiment> = vec![
         ("table1_api", Box::new(figs::table1_api::report)),
-        ("fig04_lulesh_diagnostic", Box::new(figs::fig04_lulesh_diagnostic::report)),
-        ("fig05_lulesh_maps", Box::new(figs::fig05_lulesh_maps::report)),
-        ("fig06_lulesh_speedup", Box::new(move || figs::fig06_lulesh_speedup::report(quick))),
-        ("fig07_sw_init_maps", Box::new(figs::fig07_sw_init_maps::report)),
-        ("fig08_sw_diag_maps", Box::new(figs::fig08_sw_diag_maps::report)),
-        ("fig09_sw_speedup", Box::new(move || figs::fig09_sw_speedup::report(quick))),
-        ("fig10_pathfinder_maps", Box::new(figs::fig10_pathfinder_maps::report)),
-        ("fig11_pathfinder_speedup", Box::new(move || figs::fig11_pathfinder_speedup::report(quick))),
-        ("table2_rodinia_findings", Box::new(figs::table2_rodinia::report)),
-        ("table3_overhead", Box::new(move || figs::table3_overhead::report(quick))),
-        ("ablation_page_size", Box::new(figs::ablation_page_size::report)),
+        (
+            "fig04_lulesh_diagnostic",
+            Box::new(figs::fig04_lulesh_diagnostic::report),
+        ),
+        (
+            "fig05_lulesh_maps",
+            Box::new(figs::fig05_lulesh_maps::report),
+        ),
+        (
+            "fig06_lulesh_speedup",
+            Box::new(move || figs::fig06_lulesh_speedup::report(quick)),
+        ),
+        (
+            "fig07_sw_init_maps",
+            Box::new(figs::fig07_sw_init_maps::report),
+        ),
+        (
+            "fig08_sw_diag_maps",
+            Box::new(figs::fig08_sw_diag_maps::report),
+        ),
+        (
+            "fig09_sw_speedup",
+            Box::new(move || figs::fig09_sw_speedup::report(quick)),
+        ),
+        (
+            "fig10_pathfinder_maps",
+            Box::new(figs::fig10_pathfinder_maps::report),
+        ),
+        (
+            "fig11_pathfinder_speedup",
+            Box::new(move || figs::fig11_pathfinder_speedup::report(quick)),
+        ),
+        (
+            "table2_rodinia_findings",
+            Box::new(figs::table2_rodinia::report),
+        ),
+        (
+            "table3_overhead",
+            Box::new(move || figs::table3_overhead::report(quick)),
+        ),
+        (
+            "ablation_page_size",
+            Box::new(figs::ablation_page_size::report),
+        ),
     ];
 
     for (name, f) in experiments {
@@ -34,6 +68,14 @@ fn main() {
         println!("{report}");
         eprintln!("[{name}: {dt:.1}s]");
         let _ = fs::write(outdir.join(format!("{name}.txt")), &report);
+        // Machine-readable companion: counters, allocation summaries,
+        // findings, and event digest of the experiment's canonical run.
+        if let Some(doc) = xplacer_bench::metrics_dump::experiment_metrics(name) {
+            let _ = fs::write(
+                outdir.join(format!("{name}.metrics.json")),
+                format!("{}\n", doc.to_string_pretty()),
+            );
+        }
     }
 
     // Image (PBM) versions of the access-map figures, like the paper's
@@ -51,8 +93,14 @@ fn main() {
             let _ = fs::write(outdir.join(format!("{label}.pbm")), to_pbm(bits, 64));
         }
         let (writes, consumed, cfg) = fig07_sw_init_maps::measure();
-        let _ = fs::write(outdir.join("fig07_cpu_writes.pbm"), to_pbm(&writes, cfg.m + 1));
-        let _ = fs::write(outdir.join("fig07_consumed.pbm"), to_pbm(&consumed, cfg.m + 1));
+        let _ = fs::write(
+            outdir.join("fig07_cpu_writes.pbm"),
+            to_pbm(&writes, cfg.m + 1),
+        );
+        let _ = fs::write(
+            outdir.join("fig07_consumed.pbm"),
+            to_pbm(&consumed, cfg.m + 1),
+        );
         let maps = fig10_pathfinder_maps::measure();
         for (i, bits) in maps.gpu_reads_per_iter.iter().enumerate() {
             let _ = fs::write(

@@ -42,16 +42,16 @@ pub fn report() -> String {
         .filter(|s| s.name == "dom" || s.name == "(dom)->m_p")
         .cloned()
         .collect();
-    out.push_str(&format!(
-        "*** checking {} named allocations\n\n",
-        all.len()
-    ));
+    out.push_str(&format!("*** checking {} named allocations\n\n", all.len()));
     // format_fig4 prints its own header line; strip it to keep the count
     // of the full run.
     let body = format_fig4(&shown);
-    let body = body.splitn(2, '\n').nth(1).unwrap_or("");
+    let body = body.split_once('\n').map_or("", |x| x.1);
     out.push_str(body);
-    out.push_str(&format!("[{} more entries omitted]\n", all.len() - shown.len()));
+    out.push_str(&format!(
+        "[{} more entries omitted]\n",
+        all.len() - shown.len()
+    ));
     out
 }
 
@@ -116,9 +116,7 @@ mod tests {
             per_iter.push(xplacer_core::summarize(&tracer.borrow().smt, true));
             tracer.borrow_mut().end_epoch();
         });
-        let e = |v: &Vec<AllocSummary>| {
-            v.iter().find(|s| s.name == "(dom)->m_e").unwrap().writes_c
-        };
+        let e = |v: &Vec<AllocSummary>| v.iter().find(|s| s.name == "(dom)->m_e").unwrap().writes_c;
         // m_e was CPU-initialized before iteration 1, never CPU-written
         // in iteration 2.
         assert!(e(&per_iter[0]) > 0);

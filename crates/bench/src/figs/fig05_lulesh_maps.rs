@@ -78,7 +78,11 @@ pub fn report() -> String {
     out.push_str("-- iteration 2 (steady state) --\n\n");
     section(&mut out, "(d) CPU writes", &second.cpu_writes);
     section(&mut out, "(e) CPU reads", &second.cpu_reads);
-    section(&mut out, "(f) GPU reads overlapping CPU writes", &second.overlap);
+    section(
+        &mut out,
+        "(f) GPU reads overlapping CPU writes",
+        &second.overlap,
+    );
     out
 }
 

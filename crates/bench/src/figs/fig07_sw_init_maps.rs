@@ -77,7 +77,10 @@ mod tests {
             .flat_map(|i| (0..=mm).map(move |j| (i, j)))
             .filter(|&(i, j)| (i == 0 || j == 0) && consumed[i * (mm + 1) + j])
             .count();
-        assert!(consumed_boundary >= n + mm, "boundary barely consumed: {consumed_boundary}");
+        assert!(
+            consumed_boundary >= n + mm,
+            "boundary barely consumed: {consumed_boundary}"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! Pascal). We run at 1/10 linear scale with GPU memory scaled by the
 //! same factor squared, which preserves the fits/thrashes boundary.
 
-use hetsim::{platform, Machine, MemAdvise, Platform};
 use hetsim::Device;
+use hetsim::{platform, Machine, MemAdvise, Platform};
 use xplacer_workloads::smith_waterman::{run_sw, SwConfig, SwVariant};
 
 use crate::{fmt_speedup, fmt_time, header, Grid};

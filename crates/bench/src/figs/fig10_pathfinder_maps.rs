@@ -58,10 +58,7 @@ fn panel(out: &mut String, caption: &str, bits: &[bool]) {
     ));
     // Compress: one character per 1/80th of the array.
     let chunk = (bits.len() / 80).max(1);
-    let condensed: Vec<bool> = bits
-        .chunks(chunk)
-        .map(|c| c.iter().any(|&b| b))
-        .collect();
+    let condensed: Vec<bool> = bits.chunks(chunk).map(|c| c.iter().any(|&b| b)).collect();
     out.push_str(&render_ascii(&condensed, 80));
     out.push('\n');
 }
@@ -73,8 +70,16 @@ pub fn report() -> String {
         "Fig. 10",
         "Pathfinder: gpuWall access maps (5 iterations, 1/5 slice each)",
     );
-    panel(&mut out, "(a) CPU writes (bulk H2D copy)", &maps.cpu_writes_initial);
-    for (label, idx) in [("(b) GPU reads, iteration 1", 0), ("(c) GPU reads, iteration 2", 1), ("(d) GPU reads, iteration 5", 4)] {
+    panel(
+        &mut out,
+        "(a) CPU writes (bulk H2D copy)",
+        &maps.cpu_writes_initial,
+    );
+    for (label, idx) in [
+        ("(b) GPU reads, iteration 1", 0),
+        ("(c) GPU reads, iteration 2", 1),
+        ("(d) GPU reads, iteration 5", 4),
+    ] {
         if let Some(bits) = maps.gpu_reads_per_iter.get(idx) {
             panel(&mut out, label, bits);
         }
@@ -110,7 +115,11 @@ mod tests {
     fn iterations_read_disjoint_consecutive_slices() {
         let maps = measure();
         let first_set = |bits: &[bool]| bits.iter().position(|&b| b).unwrap();
-        let starts: Vec<usize> = maps.gpu_reads_per_iter.iter().map(|b| first_set(b)).collect();
+        let starts: Vec<usize> = maps
+            .gpu_reads_per_iter
+            .iter()
+            .map(|b| first_set(b))
+            .collect();
         for w in starts.windows(2) {
             assert!(w[1] > w[0], "slices should advance: {starts:?}");
         }

@@ -7,9 +7,7 @@
 //! copy/compute ratio is preserved since both scale with cols).
 
 use hetsim::{platform, Machine, Platform};
-use xplacer_workloads::rodinia::pathfinder::{
-    run_pathfinder, PathfinderConfig, PathfinderVariant,
-};
+use xplacer_workloads::rodinia::pathfinder::{run_pathfinder, PathfinderConfig, PathfinderVariant};
 
 use crate::{fmt_speedup, fmt_time, header, Grid};
 

@@ -83,21 +83,24 @@ mod tests {
         // Function replacement.
         assert!(inst.contains("trcMallocManaged((void**)(&a)"), "{inst}");
         // Kernel-launch replacement.
-        assert!(inst.contains("traceKernelLaunch(1, 8, \"touch\", z, 1)"), "{inst}");
+        assert!(
+            inst.contains("traceKernelLaunch(1, 8, \"touch\", z, 1)"),
+            "{inst}"
+        );
         // Diagnostic expansion.
         assert!(inst.contains("XplAllocData(a, \"a\""), "{inst}");
-        assert!(inst.contains("XplAllocData(a->first, \"a->first\""), "{inst}");
+        assert!(
+            inst.contains("XplAllocData(a->first, \"a->first\""),
+            "{inst}"
+        );
         assert!(inst.contains("XplAllocData(z, \"z\""), "{inst}");
     }
 
     #[test]
     fn instrumented_demo_runs_and_diagnoses() {
-        let (out, interp) = xplacer_interp::run_source(
-            DEMO_SOURCE,
-            hetsim::platform::intel_pascal(),
-            true,
-        )
-        .unwrap_or_else(|e| panic!("{e}"));
+        let (out, interp) =
+            xplacer_interp::run_source(DEMO_SOURCE, hetsim::platform::intel_pascal(), true)
+                .unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(out.exit, 2);
         assert!(out.stdout.contains("named allocations"), "{}", out.stdout);
         assert!(out.stdout.contains("z"), "{}", out.stdout);

@@ -248,13 +248,10 @@ mod tests {
             .any(|f| matches!(f, xplacer_core::Finding::TransferredOverwritten { .. })));
 
         // LUD: first row transferred back unmodified.
-        assert!(find(&rows, "LUD")
-            .report
-            .for_alloc("m_d")
-            .any(|f| matches!(
-                f,
-                xplacer_core::Finding::TransferredOutUnmodified { off_words: 0, .. }
-            )));
+        assert!(find(&rows, "LUD").report.for_alloc("m_d").any(|f| matches!(
+            f,
+            xplacer_core::Finding::TransferredOutUnmodified { off_words: 0, .. }
+        )));
 
         // Pathfinder: ~20% density per iteration (N = 5).
         let pf = find(&rows, "Pathfinder");

@@ -12,6 +12,7 @@
 //! crossovers fall — not absolute times.
 
 pub mod figs;
+pub mod metrics_dump;
 
 use std::fmt::Write as _;
 
@@ -111,7 +112,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fmt_speedup(3.14159), "3.14x");
+        assert_eq!(fmt_speedup(3.21987), "3.22x");
         assert_eq!(fmt_time(1_500_000.0), "1.5ms");
         assert_eq!(fmt_time(2.5e9), "2.50s");
         assert_eq!(fmt_time(900.0), "1us");

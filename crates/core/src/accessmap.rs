@@ -115,10 +115,12 @@ pub fn render_matrix(bits: &[bool], rows: usize, cols: usize, words_per_elem: us
 pub fn to_pbm(bits: &[bool], width: usize) -> String {
     assert!(width > 0);
     let height = bits.len().div_ceil(width);
-    let mut out = format!("P1
+    let mut out = format!(
+        "P1
 # XPlacer access map
 {width} {height}
-");
+"
+    );
     for row in 0..height {
         for col in 0..width {
             let idx = row * width + col;
@@ -185,7 +187,7 @@ mod tests {
     fn ascii_rendering_shape() {
         let bits = vec![true, false, true, false, true, false];
         let s = render_ascii(&bits, 3);
-        assert_eq!(s, "#.#\n.#.\n".replace(".#.", ".#.")); // 2 rows of 3
+        assert_eq!(s, "#.#\n.#.\n"); // 2 rows of 3
         assert_eq!(s.lines().count(), 2);
         assert_eq!(s.lines().next().unwrap(), "#.#");
     }

@@ -175,29 +175,55 @@ impl std::fmt::Display for Finding {
                 f,
                 "{name}: {elements} elements with alternating CPU/GPU accesses"
             ),
-            Finding::LowAccessDensity { name, density, threshold, .. } => write!(
+            Finding::LowAccessDensity {
+                name,
+                density,
+                threshold,
+                ..
+            } => write!(
                 f,
                 "{name}: low access density {:.0}% (threshold {:.0}%)",
                 density * 100.0,
                 threshold * 100.0
             ),
-            Finding::LowDensityBlock { name, block_off, block_words, density, .. } => write!(
+            Finding::LowDensityBlock {
+                name,
+                block_off,
+                block_words,
+                density,
+                ..
+            } => write!(
                 f,
                 "{name}: block at word {block_off} (+{block_words}) has low access \
                  density {:.0}%",
                 density * 100.0
             ),
-            Finding::TransferredNeverAccessed { name, off_words, len_words, .. } => write!(
+            Finding::TransferredNeverAccessed {
+                name,
+                off_words,
+                len_words,
+                ..
+            } => write!(
                 f,
                 "{name}: {len_words} words at word offset {off_words} were copied to \
                  the GPU but never accessed there"
             ),
-            Finding::TransferredOutUnmodified { name, off_words, len_words, .. } => write!(
+            Finding::TransferredOutUnmodified {
+                name,
+                off_words,
+                len_words,
+                ..
+            } => write!(
                 f,
                 "{name}: {len_words} words at word offset {off_words} were copied back \
                  to the CPU although the GPU never modified them"
             ),
-            Finding::TransferredOverwritten { name, off_words, len_words, .. } => write!(
+            Finding::TransferredOverwritten {
+                name,
+                off_words,
+                len_words,
+                ..
+            } => write!(
                 f,
                 "{name}: {len_words} words at word offset {off_words} were copied to \
                  the GPU but overwritten before any GPU read — the transfer can be \

@@ -100,9 +100,7 @@ pub fn detect(e: &SmtEntry, cfg: &AnalysisConfig) -> Vec<Finding> {
         let clobbered: Vec<bool> = cov_in
             .iter()
             .zip(&e.shadow)
-            .map(|(&c, w)| {
-                c && w.get(AccessFlags::GPU_WROTE) && !w.get(AccessFlags::R_CG)
-            })
+            .map(|(&c, w)| c && w.get(AccessFlags::GPU_WROTE) && !w.get(AccessFlags::R_CG))
             .collect();
         for (off, len) in runs(&clobbered, min) {
             out.push(Finding::TransferredOverwritten {
@@ -189,10 +187,17 @@ mod tests {
             t.trace_r(GPU, DEV_BASE + w * 4, 4);
         }
         let f = detect_dev(&t);
-        assert!(f.iter().any(|f| matches!(
-            f,
-            Finding::TransferredNeverAccessed { off_words: 64, len_words: 192, .. }
-        )), "findings: {f:?}");
+        assert!(
+            f.iter().any(|f| matches!(
+                f,
+                Finding::TransferredNeverAccessed {
+                    off_words: 64,
+                    len_words: 192,
+                    ..
+                }
+            )),
+            "findings: {f:?}"
+        );
     }
 
     #[test]
@@ -276,9 +281,6 @@ mod tests {
         assert_eq!(runs(&[], 1), vec![]);
         assert_eq!(runs(&[true, true, true], 1), vec![(0, 3)]);
         assert_eq!(runs(&[false, true, true, false, true], 2), vec![(1, 2)]);
-        assert_eq!(
-            runs(&[true, false, true, true], 1),
-            vec![(0, 1), (2, 2)]
-        );
+        assert_eq!(runs(&[true, false, true, true], 1), vec![(0, 1), (2, 2)]);
     }
 }

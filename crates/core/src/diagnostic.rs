@@ -105,8 +105,10 @@ pub fn summarize_entry(e: &SmtEntry) -> AllocSummary {
 /// set, only allocations registered through the diagnostic pragma appear —
 /// matching the paper's "checking N *named* allocations".
 pub fn summarize(smt: &Smt, named_only: bool) -> Vec<AllocSummary> {
-    let mut entries: Vec<&SmtEntry> =
-        smt.iter().filter(|e| !named_only || e.label.is_some()).collect();
+    let mut entries: Vec<&SmtEntry> = smt
+        .iter()
+        .filter(|e| !named_only || e.label.is_some())
+        .collect();
     entries.sort_by_key(|e| e.serial);
     entries.into_iter().map(summarize_entry).collect()
 }
@@ -117,10 +119,7 @@ pub fn format_fig4(summaries: &[AllocSummary]) -> String {
     let _ = writeln!(out, "*** checking {} named allocations", summaries.len());
     for s in summaries {
         let _ = writeln!(out, "{}", s.name);
-        let _ = writeln!(
-            out,
-            "write counts                    write>read counts"
-        );
+        let _ = writeln!(out, "write counts                    write>read counts");
         let _ = writeln!(
             out,
             "{:>6} {:>8} {:>12} {:>8} {:>8} {:>8}",
@@ -131,7 +130,11 @@ pub fn format_fig4(summaries: &[AllocSummary]) -> String {
             "{:>6} {:>8} {:>12} {:>8} {:>8} {:>8}",
             s.writes_c, s.writes_g, s.r_cc, s.r_cg, s.r_gc, s.r_gg
         );
-        let _ = writeln!(out, "access density (in %): {}", s.density_pct.round() as i64);
+        let _ = writeln!(
+            out,
+            "access density (in %): {}",
+            s.density_pct.round() as i64
+        );
         let _ = writeln!(out, "{} elements with alternating accesses", s.alternating);
         let _ = writeln!(out);
     }

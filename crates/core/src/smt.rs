@@ -308,7 +308,11 @@ mod tests {
     fn labels_affect_display_name() {
         let mut t = Smt::new();
         t.insert(0x2000, 32, AllocKind::Managed);
-        assert!(t.lookup(0x2000).unwrap().display_name().contains("cudaMallocManaged"));
+        assert!(t
+            .lookup(0x2000)
+            .unwrap()
+            .display_name()
+            .contains("cudaMallocManaged"));
         assert!(t.set_label(0x2000, "(dom)->m_p"));
         assert_eq!(t.lookup(0x2000).unwrap().display_name(), "(dom)->m_p");
         assert!(!t.set_label(0x9999, "nope"));

@@ -254,10 +254,7 @@ mod tests {
             t.trace_r(Device::Cpu, 0x10_0000 + i * 4, 4);
             t.trace_r(GPU, 0x10_0000 + i * 4, 4);
         }
-        assert_eq!(
-            one(&t).action,
-            Action::Advise(MemAdvise::SetReadMostly)
-        );
+        assert_eq!(one(&t).action, Action::Advise(MemAdvise::SetReadMostly));
     }
 
     #[test]
@@ -282,10 +279,7 @@ mod tests {
         for i in 0..64u64 {
             t.trace_r(GPU, 0x10_0000 + i * 4, 4);
         }
-        assert_eq!(
-            one(&t).action,
-            Action::Advise(MemAdvise::SetReadMostly)
-        );
+        assert_eq!(one(&t).action, Action::Advise(MemAdvise::SetReadMostly));
     }
 
     #[test]
@@ -373,7 +367,10 @@ mod tests {
             t.trace_r(GPU, 0x10_0000 + i * 4, 4);
         }
         let text = one(&t).to_string();
-        assert!(text.starts_with("dom: cudaMemAdvise(SetReadMostly)"), "{text}");
+        assert!(
+            text.starts_with("dom: cudaMemAdvise(SetReadMostly)"),
+            "{text}"
+        );
         assert!(text.contains("cross-processor reads"), "{text}");
     }
 }

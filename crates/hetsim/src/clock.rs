@@ -87,6 +87,13 @@ impl Clock {
         self.streams[s.0]
     }
 
+    /// Tail of every stream, indexed by [`StreamId`] (slot 0 is the
+    /// default stream). The per-stream timeline state: entry `i` is the
+    /// completion time of the last op enqueued on stream `i`.
+    pub fn stream_tails(&self) -> &[f64] {
+        &self.streams
+    }
+
     /// Reset time to zero and drop all non-default streams.
     pub fn reset(&mut self) {
         self.now = 0.0;
@@ -171,6 +178,18 @@ mod tests {
         c.reset();
         assert_eq!(c.now(), 0.0);
         assert_eq!(c.stream_count(), 1);
+    }
+
+    #[test]
+    fn stream_tails_exposes_per_stream_state() {
+        let mut c = Clock::new();
+        let a = c.create_stream();
+        let b = c.create_stream();
+        c.enqueue(a, 100.0);
+        c.enqueue(b, 80.0);
+        assert_eq!(c.stream_tails(), &[0.0, 100.0, 80.0]);
+        // Overlap is visible: both tails exceed the host clock.
+        assert!(c.stream_tails()[1..].iter().all(|&t| t > c.now()));
     }
 
     #[test]

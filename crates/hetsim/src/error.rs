@@ -57,7 +57,10 @@ impl std::fmt::Display for SimError {
                 "memcpy direction does not match operands (dst=0x{dst:x}, src=0x{src:x})"
             ),
             SimError::OutOfMemory { requested } => {
-                write!(f, "simulated address space exhausted ({requested} bytes requested)")
+                write!(
+                    f,
+                    "simulated address space exhausted ({requested} bytes requested)"
+                )
             }
         }
     }

@@ -1,0 +1,289 @@
+//! The structured event stream: every driver-level action the simulator
+//! takes, stamped with its simulated-clock time.
+//!
+//! Where [`crate::stats::Stats`] aggregates *how many* faults and
+//! migrations a run took, the event stream records *when* each one
+//! happened and on which stream — the raw material for timeline traces
+//! (`chrome://tracing`), per-phase breakdowns, and heatmaps. Events are
+//! delivered through [`MemHook::on_event`](crate::hook::MemHook::on_event)
+//! so any hook can observe them; [`EventLog`] is the standard recorder, a
+//! bounded ring buffer that drops the oldest events under pressure rather
+//! than growing without bound.
+
+use std::collections::VecDeque;
+
+use crate::clock::StreamId;
+use crate::hook::MemHook;
+use crate::types::{Addr, AllocKind, CopyKind, Device, MemAdvise};
+
+/// One simulator action. Span-like events (kernels, copies, prefetches)
+/// carry their own `[start_ns, end_ns]` interval; point events are located
+/// solely by the [`TimedEvent`] timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A heap allocation.
+    Alloc {
+        base: Addr,
+        bytes: u64,
+        kind: AllocKind,
+    },
+    /// An allocation was freed.
+    Free { base: Addr },
+    /// A managed-memory access faulted (`write` distinguishes the paper's
+    /// read vs write fault groups).
+    PageFault { dev: Device, page: u64, write: bool },
+    /// A page migrated to `to` (on-demand; prefetch traffic is reported
+    /// as [`Event::Prefetch`]).
+    Migration { page: u64, to: Device, bytes: u64 },
+    /// A ReadMostly page was duplicated into `to`.
+    ReadDup { page: u64, to: Device, bytes: u64 },
+    /// A write invalidated `copies` duplicated copies of `page`.
+    Invalidate { page: u64, copies: u32 },
+    /// Oversubscription evicted `pages` pages (`bytes` of GPU residency
+    /// released; dirty pages additionally migrate back to the host).
+    Evict { pages: u32, bytes: u64 },
+    /// An explicit `cudaMemcpy`/`cudaMemcpyAsync`.
+    Memcpy {
+        dst: Addr,
+        src: Addr,
+        bytes: u64,
+        kind: CopyKind,
+        stream: StreamId,
+        start_ns: f64,
+        end_ns: f64,
+    },
+    /// `cudaMemAdvise` over a range.
+    Advise {
+        addr: Addr,
+        bytes: u64,
+        advice: MemAdvise,
+    },
+    /// `cudaMemPrefetchAsync` over a range.
+    Prefetch {
+        addr: Addr,
+        bytes: u64,
+        to: Device,
+        stream: StreamId,
+        start_ns: f64,
+        end_ns: f64,
+    },
+    /// A kernel entered execution (host-side launch point).
+    KernelBegin { name: String },
+    /// A kernel completed; the span is its scheduled execution interval on
+    /// `stream`.
+    KernelEnd {
+        name: String,
+        stream: StreamId,
+        start_ns: f64,
+        end_ns: f64,
+    },
+}
+
+impl Event {
+    /// Stable lowercase tag for grouping and serialization.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::Alloc { .. } => "alloc",
+            Event::Free { .. } => "free",
+            Event::PageFault { .. } => "page_fault",
+            Event::Migration { .. } => "migration",
+            Event::ReadDup { .. } => "read_dup",
+            Event::Invalidate { .. } => "invalidate",
+            Event::Evict { .. } => "evict",
+            Event::Memcpy { .. } => "memcpy",
+            Event::Advise { .. } => "advise",
+            Event::Prefetch { .. } => "prefetch",
+            Event::KernelBegin { .. } => "kernel_begin",
+            Event::KernelEnd { .. } => "kernel_end",
+        }
+    }
+}
+
+/// An [`Event`] stamped with the simulated time (ns) it was recorded at.
+/// For span events the stamp equals `end_ns`; for events raised inside a
+/// kernel it is the launch time plus the serial driver cost accumulated so
+/// far (the machine only settles the kernel's total duration at the end).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    pub t_ns: f64,
+    pub event: Event,
+}
+
+/// Bounded ring-buffer recorder for the event stream. Attach it to a
+/// [`Machine`](crate::machine::Machine) (alone, or alongside a tracer via
+/// [`FanoutHook`](crate::hook::FanoutHook)); it observes passively and
+/// never alters simulation results or timing.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    buf: VecDeque<TimedEvent>,
+    cap: usize,
+    total: u64,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Default ring capacity — enough for every workload in this repo
+    /// while bounding memory for adversarial access patterns.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A ring holding at most `cap` events (`cap >= 1`).
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 1, "event log capacity must be at least 1");
+        EventLog {
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+            total: 0,
+            dropped: 0,
+        }
+    }
+
+    fn record(&mut self, ev: &TimedEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev.clone());
+        self.total += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events recorded over the log's lifetime (including dropped ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events evicted from the ring by overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events with the given [`Event::kind_name`].
+    pub fn count_of(&self, kind: &str) -> usize {
+        self.buf
+            .iter()
+            .filter(|e| e.event.kind_name() == kind)
+            .count()
+    }
+
+    /// Forget everything (capacity is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.total = 0;
+        self.dropped = 0;
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemHook for EventLog {
+    // The log listens only to the structured stream; the per-word
+    // callbacks would flood the ring and are already covered by Stats.
+    fn on_alloc(&mut self, _base: Addr, _size: u64, _kind: AllocKind) {}
+    fn on_free(&mut self, _base: Addr) {}
+    fn on_read(&mut self, _dev: Device, _addr: Addr, _size: u32) {}
+    fn on_write(&mut self, _dev: Device, _addr: Addr, _size: u32) {}
+    fn on_memcpy(&mut self, _dst: Addr, _src: Addr, _bytes: u64, _kind: CopyKind) {}
+    fn on_kernel_launch(&mut self, _name: &str) {}
+
+    fn on_event(&mut self, ev: &TimedEvent) {
+        self.record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> TimedEvent {
+        TimedEvent {
+            t_ns: t,
+            event: Event::Free { base: t as Addr },
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut log = EventLog::with_capacity(3);
+        for i in 0..5 {
+            MemHook::on_event(&mut log, &ev(i as f64));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_recorded(), 5);
+        assert_eq!(log.dropped(), 2);
+        let ts: Vec<f64> = log.events().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn count_of_filters_by_kind() {
+        let mut log = EventLog::new();
+        MemHook::on_event(&mut log, &ev(1.0));
+        MemHook::on_event(
+            &mut log,
+            &TimedEvent {
+                t_ns: 2.0,
+                event: Event::KernelBegin { name: "k".into() },
+            },
+        );
+        assert_eq!(log.count_of("free"), 1);
+        assert_eq!(log.count_of("kernel_begin"), 1);
+        assert_eq!(log.count_of("memcpy"), 0);
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let mut log = EventLog::with_capacity(1);
+        MemHook::on_event(&mut log, &ev(1.0));
+        MemHook::on_event(&mut log, &ev(2.0));
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.total_recorded(), 0);
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.capacity(), 1);
+    }
+
+    #[test]
+    fn word_level_callbacks_are_ignored() {
+        let mut log = EventLog::new();
+        log.on_read(Device::Cpu, 0x1000, 8);
+        log.on_write(Device::Cpu, 0x1000, 8);
+        log.on_kernel_launch("k");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let e = Event::Migration {
+            page: 1,
+            to: Device::GPU0,
+            bytes: 4096,
+        };
+        assert_eq!(e.kind_name(), "migration");
+    }
+}

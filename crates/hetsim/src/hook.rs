@@ -8,6 +8,10 @@
 //! per copy, per kernel launch. Running with no hook attached corresponds
 //! to the uninstrumented baseline (Table III measures the difference).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::TimedEvent;
 use crate::types::{Addr, AllocKind, CopyKind, Device};
 
 /// Observer of simulated memory events.
@@ -40,6 +44,95 @@ pub trait MemHook {
     fn on_kernel_end(&mut self, name: &str) {
         let _ = name;
     }
+
+    /// A timestamped structured event (fault, migration, kernel span, ...).
+    /// Fired in addition to the per-kind callbacks above; hooks that only
+    /// care about word accesses can ignore it. See [`crate::event::Event`].
+    fn on_event(&mut self, ev: &TimedEvent) {
+        let _ = ev;
+    }
+}
+
+/// Broadcasts every callback to any number of inner hooks, in attachment
+/// order — the way to run the XPlacer tracer and an [`EventLog`]
+/// (`crate::event::EventLog`) side by side on one machine.
+#[derive(Default)]
+pub struct FanoutHook {
+    hooks: Vec<Rc<RefCell<dyn MemHook>>>,
+}
+
+impl FanoutHook {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an initial set of hooks.
+    pub fn from_hooks(hooks: Vec<Rc<RefCell<dyn MemHook>>>) -> Self {
+        FanoutHook { hooks }
+    }
+
+    /// Append a hook; it observes after every previously pushed hook.
+    pub fn push(&mut self, hook: Rc<RefCell<dyn MemHook>>) {
+        self.hooks.push(hook);
+    }
+
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+}
+
+impl MemHook for FanoutHook {
+    fn on_alloc(&mut self, base: Addr, size: u64, kind: AllocKind) {
+        for h in &self.hooks {
+            h.borrow_mut().on_alloc(base, size, kind);
+        }
+    }
+    fn on_free(&mut self, base: Addr) {
+        for h in &self.hooks {
+            h.borrow_mut().on_free(base);
+        }
+    }
+    fn on_read(&mut self, dev: Device, addr: Addr, size: u32) {
+        for h in &self.hooks {
+            h.borrow_mut().on_read(dev, addr, size);
+        }
+    }
+    fn on_write(&mut self, dev: Device, addr: Addr, size: u32) {
+        for h in &self.hooks {
+            h.borrow_mut().on_write(dev, addr, size);
+        }
+    }
+    // Forwarded as one call (not the read+write decomposition) so inner
+    // hooks with a custom RMW handler still see it.
+    fn on_read_write(&mut self, dev: Device, addr: Addr, size: u32) {
+        for h in &self.hooks {
+            h.borrow_mut().on_read_write(dev, addr, size);
+        }
+    }
+    fn on_memcpy(&mut self, dst: Addr, src: Addr, bytes: u64, kind: CopyKind) {
+        for h in &self.hooks {
+            h.borrow_mut().on_memcpy(dst, src, bytes, kind);
+        }
+    }
+    fn on_kernel_launch(&mut self, name: &str) {
+        for h in &self.hooks {
+            h.borrow_mut().on_kernel_launch(name);
+        }
+    }
+    fn on_kernel_end(&mut self, name: &str) {
+        for h in &self.hooks {
+            h.borrow_mut().on_kernel_end(name);
+        }
+    }
+    fn on_event(&mut self, ev: &TimedEvent) {
+        for h in &self.hooks {
+            h.borrow_mut().on_event(ev);
+        }
+    }
 }
 
 /// A hook that counts events — useful for tests and overhead ablations.
@@ -52,6 +145,7 @@ pub struct CountingHook {
     pub rmws: u64,
     pub memcpys: u64,
     pub launches: u64,
+    pub kernel_ends: u64,
 }
 
 impl MemHook for CountingHook {
@@ -76,6 +170,9 @@ impl MemHook for CountingHook {
     fn on_kernel_launch(&mut self, _name: &str) {
         self.launches += 1;
     }
+    fn on_kernel_end(&mut self, _name: &str) {
+        self.kernel_ends += 1;
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +188,7 @@ mod tests {
         h.on_read_write(Device::Cpu, 0x1008, 4);
         h.on_memcpy(0x2000, 0x1000, 64, CopyKind::HostToDevice);
         h.on_kernel_launch("k");
+        h.on_kernel_end("k");
         h.on_free(0x1000);
         assert_eq!(
             h,
@@ -102,8 +200,55 @@ mod tests {
                 rmws: 1,
                 memcpys: 1,
                 launches: 1,
+                kernel_ends: 1,
             }
         );
+    }
+
+    #[test]
+    fn kernel_end_is_symmetric_with_launch() {
+        let mut h = CountingHook::default();
+        for _ in 0..3 {
+            h.on_kernel_launch("k");
+            h.on_kernel_end("k");
+        }
+        assert_eq!(h.launches, 3);
+        assert_eq!(h.kernel_ends, 3);
+    }
+
+    #[test]
+    fn fanout_broadcasts_to_all_hooks() {
+        let a = Rc::new(RefCell::new(CountingHook::default()));
+        let b = Rc::new(RefCell::new(CountingHook::default()));
+        let mut f = FanoutHook::new();
+        f.push(a.clone());
+        f.push(b.clone());
+        assert_eq!(f.len(), 2);
+        f.on_alloc(0x1000, 64, AllocKind::Managed);
+        f.on_read_write(Device::Cpu, 0x1000, 8);
+        f.on_kernel_launch("k");
+        f.on_kernel_end("k");
+        for h in [&a, &b] {
+            let c = h.borrow();
+            assert_eq!(c.allocs, 1);
+            // Forwarded as one RMW, not decomposed into read + write.
+            assert_eq!((c.rmws, c.reads, c.writes), (1, 0, 0));
+            assert_eq!((c.launches, c.kernel_ends), (1, 1));
+        }
+    }
+
+    #[test]
+    fn fanout_forwards_structured_events() {
+        use crate::event::{Event, EventLog};
+        let a = Rc::new(RefCell::new(EventLog::new()));
+        let b = Rc::new(RefCell::new(EventLog::new()));
+        let mut f = FanoutHook::from_hooks(vec![a.clone(), b.clone()]);
+        f.on_event(&TimedEvent {
+            t_ns: 5.0,
+            event: Event::Free { base: 0x1000 },
+        });
+        assert_eq!(a.borrow().len(), 1);
+        assert_eq!(b.borrow().len(), 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 pub mod alloc;
 pub mod clock;
 pub mod error;
+pub mod event;
 pub mod gpumem;
 pub mod hook;
 pub mod machine;
@@ -47,7 +48,8 @@ pub mod unified;
 
 pub use clock::{StreamId, DEFAULT_STREAM};
 pub use error::{SimError, SimResult};
-pub use hook::{CountingHook, MemHook};
+pub use event::{Event, EventLog, TimedEvent};
+pub use hook::{CountingHook, FanoutHook, MemHook};
 pub use machine::Machine;
 pub use platform::{Interconnect, Platform};
 pub use stats::Stats;

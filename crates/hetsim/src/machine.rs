@@ -10,10 +10,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::alloc::{AddressSpace, Allocation};
-use crate::clock::{Clock, StreamId};
+use crate::clock::{Clock, StreamId, DEFAULT_STREAM};
 use crate::error::{SimError, SimResult};
+use crate::event::{Event, TimedEvent};
 use crate::gpumem::GpuMemory;
-use crate::hook::MemHook;
+use crate::hook::{FanoutHook, MemHook};
 use crate::platform::Platform;
 use crate::stats::Stats;
 use crate::types::{Addr, AllocKind, CopyKind, Device, MemAdvise, Scalar, TPtr};
@@ -52,6 +53,9 @@ pub struct Machine {
     clock: Clock,
     hook: Option<Rc<RefCell<dyn MemHook>>>,
     mode: ExecMode,
+    /// Name of the kernel between `kernel_begin` and its completion, for
+    /// the end-of-kernel span event.
+    cur_kernel: Option<String>,
 }
 
 impl Machine {
@@ -74,6 +78,7 @@ impl Machine {
             clock: Clock::new(),
             hook: None,
             mode: ExecMode::Host,
+            cur_kernel: None,
             pf: platform,
         }
     }
@@ -92,8 +97,30 @@ impl Machine {
 
     /// Attach an instrumentation hook (the XPlacer tracer). The caller
     /// keeps its own `Rc` to inspect the hook afterwards.
-    pub fn attach_hook(&mut self, hook: Rc<RefCell<dyn MemHook>>) {
-        self.hook = Some(hook);
+    ///
+    /// Returns the previously attached hook, if any — attaching *replaces*
+    /// rather than stacks. To observe with several hooks at once use
+    /// [`add_hook`](Self::add_hook) (or attach a
+    /// [`FanoutHook`](crate::hook::FanoutHook) explicitly).
+    pub fn attach_hook(
+        &mut self,
+        hook: Rc<RefCell<dyn MemHook>>,
+    ) -> Option<Rc<RefCell<dyn MemHook>>> {
+        self.hook.replace(hook)
+    }
+
+    /// Attach `hook` *alongside* any existing hook: if one is already
+    /// attached, both are composed behind a
+    /// [`FanoutHook`](crate::hook::FanoutHook) and observe every event in
+    /// attachment order.
+    pub fn add_hook(&mut self, hook: Rc<RefCell<dyn MemHook>>) {
+        match self.hook.take() {
+            None => self.hook = Some(hook),
+            Some(prev) => {
+                let fan = FanoutHook::from_hooks(vec![prev, hook]);
+                self.hook = Some(Rc::new(RefCell::new(fan)));
+            }
+        }
     }
 
     /// Detach the hook; subsequent execution is "uninstrumented".
@@ -104,6 +131,14 @@ impl Machine {
     /// Whether a hook is attached.
     pub fn is_instrumented(&self) -> bool {
         self.hook.is_some()
+    }
+
+    /// Deliver a structured event to the hook, stamped with `t_ns`.
+    #[inline]
+    fn emit(&self, t_ns: f64, event: Event) {
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_event(&TimedEvent { t_ns, event });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -140,6 +175,7 @@ impl Machine {
         self.clock.advance(ALLOC_NS);
         if let Some(h) = &self.hook {
             h.borrow_mut().on_alloc(base, bytes, kind);
+            self.emit(self.clock.now(), Event::Alloc { base, bytes, kind });
         }
         Ok(base)
     }
@@ -152,6 +188,7 @@ impl Machine {
         self.clock.advance(ALLOC_NS);
         if let Some(h) = &self.hook {
             h.borrow_mut().on_free(base);
+            self.emit(self.clock.now(), Event::Free { base });
         }
         Ok(())
     }
@@ -173,17 +210,20 @@ impl Machine {
     }
 
     /// `cudaMemAdvise` over a raw byte range.
-    pub fn try_mem_advise(
-        &mut self,
-        addr: Addr,
-        bytes: u64,
-        advice: MemAdvise,
-    ) -> SimResult<()> {
+    pub fn try_mem_advise(&mut self, addr: Addr, bytes: u64, advice: MemAdvise) -> SimResult<()> {
         let a = self.mem.find(addr, bytes.max(1))?;
         if a.kind != AllocKind::Managed {
             return Err(SimError::AdviseOnUnmanaged { addr });
         }
         self.um.advise(addr, bytes, advice);
+        self.emit(
+            self.clock.now(),
+            Event::Advise {
+                addr,
+                bytes,
+                advice,
+            },
+        );
         Ok(())
     }
 
@@ -203,7 +243,18 @@ impl Machine {
         let cost = self
             .um
             .prefetch(&self.pf, &mut self.gpus, &mut self.stats, addr, bytes, dst);
-        self.clock.enqueue(stream, cost);
+        let end = self.clock.enqueue(stream, cost);
+        self.emit(
+            end,
+            Event::Prefetch {
+                addr,
+                bytes,
+                to: dst,
+                stream,
+                start_ns: end - cost,
+                end_ns: end,
+            },
+        );
         Ok(())
     }
 
@@ -226,8 +277,9 @@ impl Machine {
         self.validate_copy(dst, src, bytes, kind)?;
         self.mem.copy_bytes(dst, src, bytes)?;
         let dur = self.copy_cost(bytes, kind);
+        let start = self.clock.now();
         self.clock.advance(dur);
-        self.record_copy(dst, src, bytes, kind);
+        self.record_copy(dst, src, bytes, kind, DEFAULT_STREAM, start, start + dur);
         Ok(())
     }
 
@@ -244,24 +296,19 @@ impl Machine {
         // Data effects are applied eagerly; only the time is deferred.
         self.mem.copy_bytes(dst, src, bytes)?;
         let dur = self.copy_cost(bytes, kind);
-        if self.pf.async_pageable_copy_serializes && kind.crosses_interconnect() {
+        let end = if self.pf.async_pageable_copy_serializes && kind.crosses_interconnect() {
             // Pageable-memory staging: the "async" copy blocks the host.
             self.clock.advance(dur);
+            self.clock.now()
         } else {
-            self.clock.enqueue(stream, dur);
-        }
-        self.record_copy(dst, src, bytes, kind);
+            self.clock.enqueue(stream, dur)
+        };
+        self.record_copy(dst, src, bytes, kind, stream, end - dur, end);
         Ok(())
     }
 
     /// Typed convenience wrapper over [`try_memcpy`](Self::try_memcpy).
-    pub fn memcpy<T: Scalar>(
-        &mut self,
-        dst: TPtr<T>,
-        src: TPtr<T>,
-        elems: usize,
-        kind: CopyKind,
-    ) {
+    pub fn memcpy<T: Scalar>(&mut self, dst: TPtr<T>, src: TPtr<T>, elems: usize, kind: CopyKind) {
         self.try_memcpy(dst.addr, src.addr, (elems * T::SIZE) as u64, kind)
             .expect("memcpy failed");
     }
@@ -311,7 +358,17 @@ impl Machine {
         }
     }
 
-    fn record_copy(&mut self, dst: Addr, src: Addr, bytes: u64, kind: CopyKind) {
+    #[allow(clippy::too_many_arguments)]
+    fn record_copy(
+        &mut self,
+        dst: Addr,
+        src: Addr,
+        bytes: u64,
+        kind: CopyKind,
+        stream: StreamId,
+        start_ns: f64,
+        end_ns: f64,
+    ) {
         match kind {
             CopyKind::HostToDevice => self.stats.memcpy_h2d += 1,
             CopyKind::DeviceToHost => self.stats.memcpy_d2h += 1,
@@ -320,6 +377,18 @@ impl Machine {
         self.stats.memcpy_bytes += bytes;
         if let Some(h) = &self.hook {
             h.borrow_mut().on_memcpy(dst, src, bytes, kind);
+            self.emit(
+                end_ns,
+                Event::Memcpy {
+                    dst,
+                    src,
+                    bytes,
+                    kind,
+                    stream,
+                    start_ns,
+                    end_ns,
+                },
+            );
         }
     }
 
@@ -347,6 +416,9 @@ impl Machine {
                     self.um
                         .access(&self.pf, &mut self.gpus, &mut self.stats, dev, page, write);
                 serial = out.serial_ns;
+                if self.hook.is_some() {
+                    self.emit_access_events(dev, page, write, &out);
+                }
             }
             AllocKind::Device(g) => {
                 if dev != Device::Gpu(g) {
@@ -379,6 +451,64 @@ impl Machine {
             (Device::Gpu(_), true) => self.stats.gpu_writes += 1,
         }
         Ok(())
+    }
+
+    /// Report the driver actions of one managed access as structured
+    /// events. Inside a kernel the stamp is the launch-time clock plus the
+    /// serial driver cost accumulated so far — the clock itself only
+    /// advances when the kernel's total duration settles at its end.
+    fn emit_access_events(
+        &self,
+        dev: Device,
+        page: u64,
+        write: bool,
+        out: &crate::unified::AccessOutcome,
+    ) {
+        let t = match &self.mode {
+            ExecMode::Host => self.clock.now(),
+            ExecMode::Kernel { serial_ns, .. } => self.clock.now() + serial_ns,
+        };
+        if out.fault {
+            self.emit(t, Event::PageFault { dev, page, write });
+        }
+        if out.duplicated {
+            self.emit(
+                t,
+                Event::ReadDup {
+                    page,
+                    to: dev,
+                    bytes: self.pf.page_size,
+                },
+            );
+        }
+        if out.migrated {
+            self.emit(
+                t,
+                Event::Migration {
+                    page,
+                    to: dev,
+                    bytes: self.pf.page_size,
+                },
+            );
+        }
+        if out.invalidations > 0 {
+            self.emit(
+                t,
+                Event::Invalidate {
+                    page,
+                    copies: out.invalidations,
+                },
+            );
+        }
+        if out.evictions > 0 {
+            self.emit(
+                t,
+                Event::Evict {
+                    pages: out.evictions,
+                    bytes: out.evictions as u64 * self.pf.page_size,
+                },
+            );
+        }
     }
 
     /// Read a scalar at a raw address on the current device.
@@ -505,11 +635,8 @@ impl Machine {
         threads: usize,
         mut body: impl FnMut(usize, &mut Machine),
     ) {
-        let dur = self.run_kernel(name, threads, &mut body);
-        self.clock.advance(dur);
-        if let Some(h) = &self.hook {
-            h.borrow_mut().on_kernel_end(name);
-        }
+        self.run_kernel(name, threads, &mut body);
+        self.kernel_finish_sync();
     }
 
     /// Launch a kernel asynchronously on `stream`; the host continues.
@@ -520,11 +647,8 @@ impl Machine {
         threads: usize,
         mut body: impl FnMut(usize, &mut Machine),
     ) {
-        let dur = self.run_kernel(name, threads, &mut body);
-        self.clock.enqueue(stream, dur);
-        if let Some(h) = &self.hook {
-            h.borrow_mut().on_kernel_end(name);
-        }
+        self.run_kernel(name, threads, &mut body);
+        self.kernel_finish_async(stream);
     }
 
     fn run_kernel(
@@ -532,12 +656,11 @@ impl Machine {
         name: &str,
         threads: usize,
         body: &mut dyn FnMut(usize, &mut Machine),
-    ) -> f64 {
+    ) {
         self.kernel_begin(name);
         for t in 0..threads {
             body(t, self);
         }
-        self.kernel_finish()
     }
 
     /// Enter GPU execution mode explicitly (used by drivers that cannot
@@ -551,7 +674,14 @@ impl Machine {
         self.stats.kernel_launches += 1;
         if let Some(h) = &self.hook {
             h.borrow_mut().on_kernel_launch(name);
+            self.emit(
+                self.clock.now(),
+                Event::KernelBegin {
+                    name: name.to_string(),
+                },
+            );
         }
+        self.cur_kernel = Some(name.to_string());
         self.mode = ExecMode::Kernel {
             dev: Device::GPU0,
             par_ns: 0.0,
@@ -560,7 +690,11 @@ impl Machine {
     }
 
     /// Leave GPU execution mode, returning the kernel's duration (without
-    /// advancing the clock — callers decide sync vs async).
+    /// advancing the clock — callers decide sync vs async). No completion
+    /// hook or span event fires; use
+    /// [`kernel_finish_sync`](Self::kernel_finish_sync) /
+    /// [`kernel_finish_async`](Self::kernel_finish_async) for the normal
+    /// paths, or this directly to abandon a kernel (e.g. on a trap).
     pub fn kernel_finish(&mut self) -> f64 {
         let (par, serial) = match self.mode {
             ExecMode::Kernel {
@@ -569,7 +703,46 @@ impl Machine {
             ExecMode::Host => panic!("kernel_finish outside a kernel"),
         };
         self.mode = ExecMode::Host;
+        self.cur_kernel = None;
         self.pf.kernel_launch_ns + par / self.pf.gpu_parallelism + serial
+    }
+
+    /// Complete the current kernel synchronously: the host blocks for its
+    /// duration, then the completion hook and span event fire. Returns the
+    /// kernel's duration.
+    pub fn kernel_finish_sync(&mut self) -> f64 {
+        let name = self.cur_kernel.clone().unwrap_or_default();
+        let dur = self.kernel_finish();
+        let start = self.clock.now();
+        self.clock.advance(dur);
+        self.finish_hooks(&name, DEFAULT_STREAM, start, start + dur);
+        dur
+    }
+
+    /// Complete the current kernel asynchronously on `stream`: its
+    /// duration is enqueued there and the host continues. Returns the
+    /// kernel's duration.
+    pub fn kernel_finish_async(&mut self, stream: StreamId) -> f64 {
+        let name = self.cur_kernel.clone().unwrap_or_default();
+        let dur = self.kernel_finish();
+        let end = self.clock.enqueue(stream, dur);
+        self.finish_hooks(&name, stream, end - dur, end);
+        dur
+    }
+
+    fn finish_hooks(&mut self, name: &str, stream: StreamId, start_ns: f64, end_ns: f64) {
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_kernel_end(name);
+            self.emit(
+                end_ns,
+                Event::KernelEnd {
+                    name: name.to_string(),
+                    stream,
+                    start_ns,
+                    end_ns,
+                },
+            );
+        }
     }
 
     /// Advance the host clock by an externally computed duration (e.g. a
@@ -590,6 +763,17 @@ impl Machine {
     /// Create a new stream.
     pub fn create_stream(&mut self) -> StreamId {
         self.clock.create_stream()
+    }
+
+    /// Number of streams (including the default stream).
+    pub fn stream_count(&self) -> usize {
+        self.clock.stream_count()
+    }
+
+    /// Per-stream timeline state: entry `i` is the completion time of the
+    /// last op enqueued on stream `i` (see [`Clock::stream_tails`]).
+    pub fn stream_tails(&self) -> &[f64] {
+        self.clock.stream_tails()
     }
 
     /// Block the host on one stream (`cudaStreamSynchronize`). Charges the
@@ -786,6 +970,126 @@ mod tests {
     }
 
     #[test]
+    fn attach_hook_returns_displaced_hook() {
+        let mut m = m();
+        let a = Rc::new(RefCell::new(CountingHook::default()));
+        let b = Rc::new(RefCell::new(CountingHook::default()));
+        assert!(m.attach_hook(a.clone()).is_none());
+        let prev = m.attach_hook(b.clone()).expect("first hook displaced");
+        assert!(Rc::ptr_eq(
+            &(prev as Rc<RefCell<dyn MemHook>>),
+            &(a as Rc<RefCell<dyn MemHook>>)
+        ));
+    }
+
+    #[test]
+    fn add_hook_composes_instead_of_replacing() {
+        let mut m = m();
+        let a = Rc::new(RefCell::new(CountingHook::default()));
+        let b = Rc::new(RefCell::new(CountingHook::default()));
+        m.add_hook(a.clone());
+        m.add_hook(b.clone());
+        let p = m.alloc_managed::<f64>(4);
+        m.st(p, 0, 1.0);
+        assert_eq!(a.borrow().writes, 1);
+        assert_eq!(b.borrow().writes, 1);
+        assert_eq!(a.borrow().allocs, 1);
+        assert_eq!(b.borrow().allocs, 1);
+    }
+
+    #[test]
+    fn event_log_records_faults_migrations_and_kernel_spans() {
+        use crate::event::{Event, EventLog};
+        let mut m = m();
+        let log = Rc::new(RefCell::new(EventLog::new()));
+        m.attach_hook(log.clone());
+        let p = m.alloc_managed::<f64>(8);
+        m.st(p, 0, 1.0); // CPU first touch: no fault
+        m.launch("k", 1, |_, m| {
+            let _ = m.ld(p, 0); // GPU touch: fault + migration
+        });
+        m.free(p);
+        let log = log.borrow();
+        assert_eq!(log.count_of("alloc"), 1);
+        assert_eq!(log.count_of("free"), 1);
+        assert_eq!(log.count_of("page_fault"), 1);
+        assert_eq!(log.count_of("migration"), 1);
+        assert_eq!(log.count_of("kernel_begin"), 1);
+        assert_eq!(log.count_of("kernel_end"), 1);
+        // The kernel span is well-formed and the stream stamp matches.
+        let span = log
+            .events()
+            .find_map(|e| match &e.event {
+                Event::KernelEnd {
+                    name,
+                    stream,
+                    start_ns,
+                    end_ns,
+                } => Some((name.clone(), *stream, *start_ns, *end_ns)),
+                _ => None,
+            })
+            .expect("kernel end span recorded");
+        assert_eq!(span.0, "k");
+        assert_eq!(span.1, crate::clock::DEFAULT_STREAM);
+        assert!(span.3 > span.2, "span must have positive duration");
+        // Timestamps never decrease across the recorded stream.
+        let ts: Vec<f64> = log.events().map(|e| e.t_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn event_log_records_memcpy_advise_and_prefetch_spans() {
+        use crate::event::{Event, EventLog};
+        let mut m = m();
+        let log = Rc::new(RefCell::new(EventLog::new()));
+        m.attach_hook(log.clone());
+        let h = m.alloc_host::<f64>(1024);
+        let d = m.alloc_device::<f64>(1024);
+        let u = m.alloc_managed::<f64>(1024);
+        m.memcpy(d, h, 1024, CopyKind::HostToDevice);
+        m.mem_advise(u, MemAdvise::SetReadMostly);
+        m.mem_prefetch(u, Device::GPU0);
+        let log = log.borrow();
+        assert_eq!(log.count_of("memcpy"), 1);
+        assert_eq!(log.count_of("advise"), 1);
+        assert_eq!(log.count_of("prefetch"), 1);
+        for e in log.events() {
+            if let Event::Memcpy {
+                bytes,
+                start_ns,
+                end_ns,
+                ..
+            } = &e.event
+            {
+                assert_eq!(*bytes, 1024 * 8);
+                assert!(end_ns > start_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn async_kernel_span_lands_on_its_stream() {
+        use crate::event::{Event, EventLog};
+        let mut m = m();
+        let log = Rc::new(RefCell::new(EventLog::new()));
+        m.attach_hook(log.clone());
+        let p = m.alloc_device::<f64>(64);
+        let s = m.create_stream();
+        m.launch_async(s, "akern", 64, |t, m| m.st(p, t, 0.0));
+        let t_host = m.now();
+        let log = log.borrow();
+        let (stream, end) = log
+            .events()
+            .find_map(|e| match &e.event {
+                Event::KernelEnd { stream, end_ns, .. } => Some((*stream, *end_ns)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(stream, s);
+        assert!(end > t_host, "async work completes after the host moves on");
+    }
+
+    #[test]
     fn rmw_applies_function() {
         let mut m = m();
         let p = m.alloc_managed::<i32>(1);
@@ -882,7 +1186,12 @@ mod tests {
         let mut m = m();
         let p = m.alloc_device::<f64>(8);
         assert!(matches!(
-            m.try_mem_prefetch(p.addr, p.bytes(), Device::GPU0, crate::clock::DEFAULT_STREAM),
+            m.try_mem_prefetch(
+                p.addr,
+                p.bytes(),
+                Device::GPU0,
+                crate::clock::DEFAULT_STREAM
+            ),
             Err(SimError::AdviseOnUnmanaged { .. })
         ));
     }

@@ -155,9 +155,11 @@ mod tests {
 
     #[test]
     fn since_subtracts_and_saturates() {
-        let mut a = Stats::default();
-        a.cpu_faults = 10;
-        a.gpu_reads = 5;
+        let a = Stats {
+            cpu_faults: 10,
+            gpu_reads: 5,
+            ..Default::default()
+        };
         let mut b = a.clone();
         b.cpu_faults = 25;
         b.gpu_reads = 3; // pretend a reset happened
@@ -168,16 +170,20 @@ mod tests {
 
     #[test]
     fn reset_zeroes() {
-        let mut s = Stats::default();
-        s.kernel_launches = 9;
+        let mut s = Stats {
+            kernel_launches: 9,
+            ..Default::default()
+        };
         s.reset();
         assert_eq!(s, Stats::default());
     }
 
     #[test]
     fn summary_mentions_key_counters() {
-        let mut s = Stats::default();
-        s.gpu_faults = 42;
+        let s = Stats {
+            gpu_faults: 42,
+            ..Default::default()
+        };
         let txt = s.summary();
         assert!(txt.contains("gpu=42"));
         assert!(txt.contains("kernels=0"));

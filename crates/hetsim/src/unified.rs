@@ -59,6 +59,14 @@ pub struct AccessOutcome {
     pub remote: bool,
     /// The access migrated the page.
     pub migrated: bool,
+    /// The access duplicated a ReadMostly page into the accessor.
+    pub duplicated: bool,
+    /// Duplicated copies invalidated by this write.
+    pub invalidations: u32,
+    /// Pages evicted from GPU memory to make room.
+    pub evictions: u32,
+    /// Bytes written back to the host by those evictions (dirty pages).
+    pub evicted_bytes: u64,
 }
 
 /// The driver: a dense page table covering the bump-allocated heap.
@@ -187,7 +195,9 @@ impl UmDriver {
         if st.copies.contains(dev) && write {
             // Write to a read-duplicated page: invalidate all other copies
             // ("only the page where the write occurred will be valid").
-            out.serial_ns += self.invalidate_others(i, page, dev, pf, gpus, stats);
+            let (cost, n) = self.invalidate_others(i, page, dev, pf, gpus, stats);
+            out.serial_ns += cost;
+            out.invalidations = n;
             return out;
         }
 
@@ -211,8 +221,12 @@ impl UmDriver {
             // Duplicate a read-only copy into the faulting processor.
             out.serial_ns += pf.fault_ns + pf.xfer_ns(pf.page_size);
             stats.duplications += 1;
+            out.duplicated = true;
             if let Device::Gpu(g) = dev {
+                let (ev0, eb0) = (stats.evictions, stats.bytes_evicted);
                 out.serial_ns += self.make_resident(i, page, g, pf, gpus, stats);
+                out.evictions = (stats.evictions - ev0) as u32;
+                out.evicted_bytes = stats.bytes_evicted - eb0;
             }
             let st = &mut self.pages[i];
             st.copies.insert(dev);
@@ -264,7 +278,10 @@ impl UmDriver {
             }
         }
         if let Device::Gpu(g) = dev {
+            let (ev0, eb0) = (stats.evictions, stats.bytes_evicted);
             out.serial_ns += self.make_resident(i, page, g, pf, gpus, stats);
+            out.evictions = (stats.evictions - ev0) as u32;
+            out.evicted_bytes = stats.bytes_evicted - eb0;
         }
         let st = &mut self.pages[i];
         st.owner = dev;
@@ -280,7 +297,8 @@ impl UmDriver {
         out
     }
 
-    /// Invalidate all copies of page `i` other than `keeper`'s.
+    /// Invalidate all copies of page `i` other than `keeper`'s. Returns
+    /// the serial cost and the number of copies invalidated.
     fn invalidate_others(
         &mut self,
         i: usize,
@@ -289,8 +307,9 @@ impl UmDriver {
         pf: &Platform,
         gpus: &mut [GpuMemory],
         stats: &mut Stats,
-    ) -> f64 {
+    ) -> (f64, u32) {
         let mut cost = 0.0;
+        let mut count = 0u32;
         let copies = self.pages[i].copies;
         for d in copies.iter() {
             if d == keeper {
@@ -298,6 +317,7 @@ impl UmDriver {
             }
             cost += pf.invalidate_ns;
             stats.invalidations += 1;
+            count += 1;
             if let Device::Gpu(g) = d {
                 gpus[g as usize].release(page);
             }
@@ -305,7 +325,7 @@ impl UmDriver {
         let st = &mut self.pages[i];
         st.copies = DeviceSet::single(keeper);
         st.owner = keeper;
-        cost
+        (cost, count)
     }
 
     /// Insert `page` into GPU `g`'s memory, handling any evictions that
@@ -556,8 +576,11 @@ mod tests {
     fn accessed_by_mapping_survives_migration() {
         let mut f = fixture();
         let p = f.page(0);
-        f.drv
-            .advise(f.base, f.pf.page_size, MemAdvise::SetAccessedBy(Device::Cpu));
+        f.drv.advise(
+            f.base,
+            f.pf.page_size,
+            MemAdvise::SetAccessedBy(Device::Cpu),
+        );
         // GPU write migrates the page to the GPU...
         let o = f.access(GPU, p, true);
         assert!(o.migrated);
@@ -642,6 +665,27 @@ mod tests {
             .drv
             .prefetch(&f.pf, &mut f.gpus, &mut f.stats, base, size, GPU);
         assert_eq!(c2, 0.0);
+    }
+
+    #[test]
+    fn outcome_reports_duplication_invalidation_and_eviction_detail() {
+        let mut f = fixture();
+        let p = f.page(0);
+        f.drv
+            .advise(f.base, f.pf.page_size, MemAdvise::SetReadMostly);
+        f.access(Device::Cpu, p, false);
+        let o = f.access(GPU, p, false);
+        assert!(o.duplicated && o.fault);
+        let o = f.access(Device::Cpu, p, true);
+        assert_eq!(o.invalidations, 1);
+        assert!(!o.duplicated);
+
+        // Oversubscribe: outcome reports the evictions it forced.
+        let mut f = fixture_with_gpu_pages(1);
+        f.access(GPU, f.page(0), true);
+        let o = f.access(GPU, f.page(1), true);
+        assert_eq!(o.evictions, 1);
+        assert_eq!(o.evicted_bytes, f.pf.page_size, "dirty page written back");
     }
 
     #[test]

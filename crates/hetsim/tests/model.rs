@@ -23,8 +23,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         any::<u8>().prop_map(Op::Free),
         (any::<u8>(), any::<u16>(), any::<i64>()).prop_map(|(a, i, v)| Op::Write(a, i, v)),
         (any::<u8>(), any::<u16>()).prop_map(|(a, i)| Op::Read(a, i)),
-        (any::<u8>(), any::<u16>(), any::<i64>())
-            .prop_map(|(a, i, v)| Op::KernelWrite(a, i, v)),
+        (any::<u8>(), any::<u16>(), any::<i64>()).prop_map(|(a, i, v)| Op::KernelWrite(a, i, v)),
     ]
 }
 

@@ -11,15 +11,24 @@
 //!   --platform <pascal|volta|power9>      target platform (default pascal)
 //!   --plain                               run without instrumentation
 //!   --stats                               print simulator counters
+//!   --trace-out <file>                    write a Chrome Trace Event JSON
+//!   --metrics-out <file>                  write a JSON metrics report
+//!   --heatmap                             print page x epoch access heatmaps
+//!   --json                                metrics report on stdout, human text on stderr
 //! ```
 
+use std::cell::RefCell;
+use std::io::Write;
 use std::process::ExitCode;
+use std::rc::Rc;
 
-use hetsim::{platform, Machine, Platform};
+use hetsim::{platform, EventLog, Machine, Platform, Stats};
 use xplacer_core::antipattern::{analyze, AnalysisConfig};
-use xplacer_interp::run_source;
+use xplacer_core::{AllocSummary, Report};
+use xplacer_interp::{run_source, run_source_on};
 use xplacer_lang::parser::parse;
 use xplacer_lang::unparse::unparse;
+use xplacer_obs::{chrome_trace, metrics_report, HeatmapRecorder};
 use xplacer_workloads::register_names;
 
 fn main() -> ExitCode {
@@ -71,6 +80,136 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Observability flags shared by `run`, `analyze`, and `demo`.
+#[derive(Default)]
+struct ObsOpts {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    heatmap: bool,
+    json: bool,
+}
+
+impl ObsOpts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = ObsOpts::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trace-out" => {
+                    o.trace_out = Some(
+                        args.get(i + 1)
+                            .ok_or_else(|| "--trace-out needs a path".to_string())?
+                            .clone(),
+                    );
+                    i += 1;
+                }
+                "--metrics-out" => {
+                    o.metrics_out = Some(
+                        args.get(i + 1)
+                            .ok_or_else(|| "--metrics-out needs a path".to_string())?
+                            .clone(),
+                    );
+                    i += 1;
+                }
+                "--heatmap" => o.heatmap = true,
+                "--json" => o.json = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        Ok(o)
+    }
+
+    /// Does anything need the structured event stream?
+    fn wants_events(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.json
+    }
+}
+
+/// Sink for human-readable output. With `--json`, stdout carries exactly
+/// one JSON document (so `xplacer ... --json | jq` works) and everything
+/// meant for eyes moves to stderr.
+fn human(json: bool) -> Box<dyn Write> {
+    if json {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::io::stdout())
+    }
+}
+
+/// Observer hooks attached for one run; the CLI keeps shared handles so it
+/// can read them back after the program finishes.
+#[derive(Default)]
+struct Observers {
+    log: Option<Rc<RefCell<EventLog>>>,
+    heat: Option<Rc<RefCell<HeatmapRecorder>>>,
+}
+
+/// Attach the observers `opts` asks for *alongside* whatever hook the
+/// machine already carries (the tracer keeps working).
+fn attach_observers(m: &mut Machine, opts: &ObsOpts) -> Observers {
+    let mut obs = Observers::default();
+    if opts.wants_events() {
+        let log = Rc::new(RefCell::new(EventLog::new()));
+        m.add_hook(log.clone());
+        obs.log = Some(log);
+    }
+    if opts.heatmap {
+        let heat = Rc::new(RefCell::new(HeatmapRecorder::new(m.platform().page_size)));
+        m.add_hook(heat.clone());
+        obs.heat = Some(heat);
+    }
+    obs
+}
+
+/// Write/print the requested artifacts after a run.
+#[allow(clippy::too_many_arguments)]
+fn emit_observability(
+    opts: &ObsOpts,
+    obs: &Observers,
+    workload: &str,
+    platform: &str,
+    elapsed_ns: f64,
+    stats: &Stats,
+    allocs: &[AllocSummary],
+    report: Option<&Report>,
+) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        let log = obs.log.as_ref().expect("event log attached").borrow();
+        let text = chrome_trace(&log).to_string_compact();
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote chrome trace to {path} ({} events; open in chrome://tracing)",
+            log.len()
+        );
+    }
+    if opts.metrics_out.is_some() || opts.json {
+        let log = obs.log.as_ref().map(|l| l.borrow());
+        let doc = metrics_report(
+            workload,
+            platform,
+            elapsed_ns,
+            stats,
+            allocs,
+            report,
+            log.as_deref(),
+        );
+        let text = doc.to_string_pretty();
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, format!("{text}\n"))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote metrics report to {path}");
+        }
+        if opts.json {
+            println!("{text}");
+        }
+    }
+    if let Some(heat) = &obs.heat {
+        let _ = write!(human(opts.json), "{}", heat.borrow().render_ascii());
+    }
+    Ok(())
+}
+
 fn pick_platform(args: &[String]) -> Result<Platform, String> {
     let mut pf = platform::intel_pascal();
     for (i, a) in args.iter().enumerate() {
@@ -97,7 +236,7 @@ fn read_file(args: &[String]) -> Result<(String, String), String> {
             skip_next = false;
             continue;
         }
-        if a == "--platform" {
+        if a == "--platform" || a == "--trace-out" || a == "--metrics-out" {
             skip_next = true;
             continue;
         }
@@ -130,11 +269,15 @@ fn cmd_instrument(args: &[String]) -> Result<(), String> {
 fn cmd_run(args: &[String], analyze_after: bool) -> Result<(), String> {
     let (path, src) = read_file(args)?;
     let pf = pick_platform(args)?;
+    let obs_opts = ObsOpts::parse(args)?;
     let plain = args.iter().any(|a| a == "--plain");
     let instrumented = !plain;
+    let mut machine = Machine::new(pf.clone());
+    let obs = attach_observers(&mut machine, &obs_opts);
     let (out, interp) =
-        run_source(&src, pf.clone(), instrumented).map_err(|e| format!("{path}: {e}"))?;
-    print!("{}", out.stdout);
+        run_source_on(&src, machine, instrumented).map_err(|e| format!("{path}: {e}"))?;
+    let mut h = human(obs_opts.json);
+    let _ = write!(h, "{}", out.stdout);
     eprintln!(
         "exit {} | simulated {:.3} ms on {} | faults {} | migrations {}",
         out.exit,
@@ -153,16 +296,31 @@ fn cmd_run(args: &[String], analyze_after: bool) -> Result<(), String> {
         if interp.reports.is_empty() {
             // No diagnostic pragma in the program: analyze final state.
             let report = analyze(&interp.tracer.smt, &AnalysisConfig::default());
-            println!("--- anti-pattern report (end of program) ---");
-            print!("{report}");
+            let _ = writeln!(h, "--- anti-pattern report (end of program) ---");
+            let _ = write!(h, "{report}");
         } else {
             for (i, report) in interp.reports.iter().enumerate() {
-                println!("--- anti-pattern report (diagnostic point {}) ---", i + 1);
-                print!("{report}");
+                let _ = writeln!(
+                    h,
+                    "--- anti-pattern report (diagnostic point {}) ---",
+                    i + 1
+                );
+                let _ = write!(h, "{report}");
             }
         }
     }
-    Ok(())
+    let allocs = xplacer_core::summarize(&interp.tracer.smt, false);
+    let report = analyze_after.then(|| analyze(&interp.tracer.smt, &AnalysisConfig::default()));
+    emit_observability(
+        &obs_opts,
+        &obs,
+        &path,
+        pf.name,
+        out.elapsed_ns,
+        &out.stats,
+        &allocs,
+        report.as_ref(),
+    )
 }
 
 /// Run a program traced and print the placement advisor's suggestions
@@ -173,9 +331,11 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
     let (_, interp) = run_source(&src, pf.clone(), true).map_err(|e| format!("{path}: {e}"))?;
     let suggestions = xplacer_core::suggest_for(&interp.tracer.smt, &pf);
     if suggestions.is_empty() {
-        println!("no placement suggestions (nothing traced at end of program — \
+        println!(
+            "no placement suggestions (nothing traced at end of program — \
                   note that each tracePrint resets the trace; advise works best \
-                  on programs without diagnostic pragmas)");
+                  on programs without diagnostic pragmas)"
+        );
     } else {
         println!("placement suggestions for {}:", pf.name);
         for s in &suggestions {
@@ -193,14 +353,18 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         );
     };
     let pf = pick_platform(args)?;
+    let obs_opts = ObsOpts::parse(&args[1..])?;
     let mut m = Machine::new(pf.clone());
     let tracer = xplacer_core::attach_tracer(&mut m);
+    let obs = attach_observers(&mut m, &obs_opts);
+    let names: Vec<(hetsim::Addr, String)>;
     use xplacer_workloads as w;
     let check = match which.as_str() {
         "lulesh" => {
             let cfg = w::lulesh::LuleshConfig::new(8, 3);
             let mut l = w::lulesh::Lulesh::setup(&mut m, cfg, w::lulesh::LuleshVariant::Baseline);
-            register_names(&tracer, &l.names());
+            names = l.names();
+            register_names(&tracer, &names);
             l.run(&mut m, cfg.steps, |_, _| {});
             l.check(&mut m)
         }
@@ -211,7 +375,8 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
                 cfg,
                 w::smith_waterman::SwVariant::Baseline,
             );
-            register_names(&tracer, &s.names());
+            names = s.names();
+            register_names(&tracer, &names);
             s.run(&mut m, |_, _| {});
             s.peek_score(&mut m) as f64
         }
@@ -222,7 +387,8 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
                 cfg,
                 w::rodinia::pathfinder::PathfinderVariant::Baseline,
             );
-            register_names(&tracer, &p.names());
+            names = p.names();
+            register_names(&tracer, &names);
             p.run(&mut m, |_, _| {});
             p.check(&mut m)
         }
@@ -231,7 +397,8 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
                 &mut m,
                 w::rodinia::backprop::BackpropConfig::new(1024),
             );
-            register_names(&tracer, &b.names());
+            names = b.names();
+            register_names(&tracer, &names);
             b.run(&mut m);
             b.check()
         }
@@ -240,26 +407,30 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
                 &mut m,
                 w::rodinia::gaussian::GaussianConfig::new(48),
             );
-            register_names(&tracer, &g.names());
+            names = g.names();
+            register_names(&tracer, &names);
             g.run(&mut m);
             g.check()
         }
         "lud" => {
             let mut l = w::rodinia::lud::Lud::setup(&mut m, w::rodinia::lud::LudConfig::new(48));
-            register_names(&tracer, &l.names());
+            names = l.names();
+            register_names(&tracer, &names);
             l.run(&mut m, |_, _| {});
             l.check(&mut m)
         }
         "nn" => {
             let mut n = w::rodinia::nn::Nn::setup(&mut m, w::rodinia::nn::NnConfig::new(2048));
-            register_names(&tracer, &n.names());
+            names = n.names();
+            register_names(&tracer, &names);
             n.run(&mut m);
             n.nearest().1 as f64
         }
         "cfd" => {
             let mut c =
                 w::rodinia::cfd::Cfd::setup(&mut m, w::rodinia::cfd::CfdConfig::new(1024, 8));
-            register_names(&tracer, &c.names());
+            names = c.names();
+            register_names(&tracer, &names);
             c.run(&mut m);
             c.check()
         }
@@ -267,7 +438,9 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     };
 
     let elapsed = m.elapsed_ns();
-    println!(
+    let mut h = human(obs_opts.json);
+    let _ = writeln!(
+        h,
         "{which} on {}: check={check:.4}, simulated {:.3} ms, faults {}, migrations {}",
         pf.name,
         elapsed / 1e6,
@@ -275,10 +448,26 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         m.stats.migrations()
     );
     let summaries = xplacer_core::summarize(&tracer.borrow().smt, true);
-    println!("\n--- diagnostic summary (named allocations) ---");
-    print!("{}", xplacer_core::format_fig4(&summaries));
+    let _ = writeln!(h, "\n--- diagnostic summary (named allocations) ---");
+    let _ = write!(h, "{}", xplacer_core::format_fig4(&summaries));
     let report = analyze(&tracer.borrow().smt, &AnalysisConfig::default());
-    println!("--- anti-pattern report ---");
-    print!("{report}");
-    Ok(())
+    let _ = writeln!(h, "--- anti-pattern report ---");
+    let _ = write!(h, "{report}");
+    if let Some(heat) = &obs.heat {
+        let mut h = heat.borrow_mut();
+        for (addr, name) in &names {
+            h.name(*addr, name);
+        }
+    }
+    let all_allocs = xplacer_core::summarize(&tracer.borrow().smt, false);
+    emit_observability(
+        &obs_opts,
+        &obs,
+        which,
+        pf.name,
+        elapsed,
+        &m.stats,
+        &all_allocs,
+        Some(&report),
+    )
 }

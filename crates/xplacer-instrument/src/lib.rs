@@ -357,6 +357,7 @@ impl Pass<'_> {
         Expr::Call(func.to_string(), args)
     }
 
+    #[allow(clippy::only_used_in_recursion)] // `env` kept for symmetry with the other walkers
     fn expand_object(
         &self,
         expr: &Expr,
@@ -522,7 +523,10 @@ mod tests {
         let inst = instrument(&prog);
         assert_eq!(inst.kernel_wrapper.as_deref(), Some("traceKernelLaunch"));
         let text = unparse(&inst.program);
-        assert!(text.contains("traceKernelLaunch(1, 32, \"k\", p)"), "{text}");
+        assert!(
+            text.contains("traceKernelLaunch(1, 32, \"k\", p)"),
+            "{text}"
+        );
         // The kernel body itself is instrumented too.
         assert!(text.contains("traceW(p[0]) = 1.0;"), "{text}");
     }

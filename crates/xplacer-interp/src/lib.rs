@@ -53,10 +53,16 @@ type RResult<T> = Result<T, RunError>;
 pub enum PtrVal {
     Null,
     /// A simulated heap address with its pointee type.
-    Heap { addr: Addr, ty: Type },
+    Heap {
+        addr: Addr,
+        ty: Type,
+    },
     /// Address of an interpreter local (supports `&p` out-params like
     /// `cudaMalloc((void**)&p, n)`).
-    Local { frame: usize, name: String },
+    Local {
+        frame: usize,
+        name: String,
+    },
 }
 
 /// Runtime values.
@@ -427,8 +433,7 @@ impl Interp {
             Expr::FloatLit(v) => Ok(Value::Double(*v)),
             Expr::StrLit(s) => Ok(Value::Str(s.clone())),
             Expr::Ident(n) => self.eval_ident(n),
-            Expr::Member(b, f, false)
-                if matches!(&**b, Expr::Ident(n) if is_cuda_builtin_struct(n)) =>
+            Expr::Member(b, f, false) if matches!(&**b, Expr::Ident(n) if is_cuda_builtin_struct(n)) =>
             {
                 let Expr::Ident(n) = &**b else { unreachable!() };
                 self.cuda_index(n, f)
@@ -828,7 +833,13 @@ impl Interp {
     // Kernels
     // ------------------------------------------------------------------
 
-    fn launch_kernel(&mut self, name: &str, grid: i64, block: i64, args: Vec<Value>) -> RResult<()> {
+    fn launch_kernel(
+        &mut self,
+        name: &str,
+        grid: i64,
+        block: i64,
+        args: Vec<Value>,
+    ) -> RResult<()> {
         if self.kernel.is_some() {
             return err("nested kernel launch");
         }
@@ -854,8 +865,7 @@ impl Interp {
             }
         }
         self.kernel = None;
-        let dur = self.machine.kernel_finish();
-        self.machine.advance_ns(dur);
+        self.machine.kernel_finish_sync();
         Ok(())
     }
 
@@ -1052,12 +1062,18 @@ impl Interp {
                 self.stdout.push_str(&text);
                 Value::Int(0)
             }
-            "sqrt" => {
-                Value::Double(args.first().ok_or_else(|| missing(name, 1))?.as_double()?.sqrt())
-            }
-            "fabs" => {
-                Value::Double(args.first().ok_or_else(|| missing(name, 1))?.as_double()?.abs())
-            }
+            "sqrt" => Value::Double(
+                args.first()
+                    .ok_or_else(|| missing(name, 1))?
+                    .as_double()?
+                    .sqrt(),
+            ),
+            "fabs" => Value::Double(
+                args.first()
+                    .ok_or_else(|| missing(name, 1))?
+                    .as_double()?
+                    .abs(),
+            ),
             "fmin" | "min" => {
                 let a = args.first().ok_or_else(|| missing(name, 2))?.clone();
                 let b = args.get(1).ok_or_else(|| missing(name, 2))?.clone();
@@ -1128,8 +1144,7 @@ impl Interp {
                         else_branch,
                         ..
                     } => {
-                        if let Some(t) =
-                            scan(then_branch, name).or_else(|| scan(else_branch, name))
+                        if let Some(t) = scan(then_branch, name).or_else(|| scan(else_branch, name))
                         {
                             return Some(t);
                         }
@@ -1348,6 +1363,16 @@ pub fn run_source(
     platform: hetsim::Platform,
     instrumented: bool,
 ) -> RResult<(Outcome, Interp)> {
+    run_source_on(src, Machine::new(platform), instrumented)
+}
+
+/// Like [`run_source`], but on a caller-prepared [`Machine`] — use this to
+/// attach observer hooks (event log, heatmap) before the program runs.
+pub fn run_source_on(
+    src: &str,
+    machine: Machine,
+    instrumented: bool,
+) -> RResult<(Outcome, Interp)> {
     let prog = xplacer_lang::parser::parse(src).map_err(|e| RunError {
         message: e.to_string(),
     })?;
@@ -1356,7 +1381,6 @@ pub fn run_source(
     } else {
         prog
     };
-    let machine = Machine::new(platform);
     let mut interp = Interp::new(prog, machine);
     let outcome = interp.run_main()?;
     Ok((outcome, interp))

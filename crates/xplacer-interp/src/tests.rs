@@ -16,22 +16,19 @@ fn run_instr(src: &str) -> (Outcome, Interp) {
 
 #[test]
 fn arithmetic_and_control_flow() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int fib(int n) {
             if (n < 2) { return n; }
             return fib(n - 1) + fib(n - 2);
         }
         int main() { return fib(10); }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 55);
 }
 
 #[test]
 fn loops_break_continue() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             int s = 0;
             for (int i = 0; i < 100; i++) {
@@ -41,43 +38,37 @@ fn loops_break_continue() {
             }
             return s;
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 1 + 3 + 5 + 7 + 9);
 }
 
 #[test]
 fn while_and_ternary() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             int x = 0;
             while (x < 7) { x++; }
             return x == 7 ? 42 : 0;
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 42);
 }
 
 #[test]
 fn doubles_and_casts() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             double x = 3.5;
             double y = x * 2.0 + 1.0;
             return (int)y;
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 8);
 }
 
 #[test]
 fn managed_memory_host_access() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             double* p;
             cudaMallocManaged((void**)&p, 10 * sizeof(double));
@@ -87,8 +78,7 @@ fn managed_memory_host_access() {
             cudaFree(p);
             return (int)s;
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 67); // 1.5 * 45 = 67.5
     assert_eq!(out.stats.allocs, 1);
     assert_eq!(out.stats.frees, 1);
@@ -96,8 +86,7 @@ fn managed_memory_host_access() {
 
 #[test]
 fn kernel_launch_and_thread_indexing() {
-    let out = run(
-        r#"
+    let out = run(r#"
         __global__ void scale(double* p, int n) {
             int i = blockIdx.x * blockDim.x + threadIdx.x;
             if (i < n) { p[i] = p[i] * 2.0; }
@@ -112,8 +101,7 @@ fn kernel_launch_and_thread_indexing() {
             for (int i = 0; i < 64; i++) { s += p[i]; }
             return (int)s;
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 128);
     assert_eq!(out.stats.kernel_launches, 1);
     assert!(out.stats.gpu_writes >= 64);
@@ -123,8 +111,7 @@ fn kernel_launch_and_thread_indexing() {
 
 #[test]
 fn explicit_device_memory_and_memcpy() {
-    let out = run(
-        r#"
+    let out = run(r#"
         __global__ void inc(int* d, int n) {
             int i = threadIdx.x;
             if (i < n) { d[i] = d[i] + 1; }
@@ -142,8 +129,7 @@ fn explicit_device_memory_and_memcpy() {
             for (int i = 0; i < 16; i++) { s += h[i]; }
             return s;
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, (0..16).sum::<i64>() + 16);
     assert_eq!(out.stats.memcpy_h2d, 1);
     assert_eq!(out.stats.memcpy_d2h, 1);
@@ -151,8 +137,7 @@ fn explicit_device_memory_and_memcpy() {
 
 #[test]
 fn structs_through_pointers() {
-    let out = run(
-        r#"
+    let out = run(r#"
         struct Pair { int* first; int* second; };
         int main() {
             Pair* a;
@@ -167,15 +152,13 @@ fn structs_through_pointers() {
             a->second[1] = 12;
             return a->first[0] + a->second[1];
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 42);
 }
 
 #[test]
 fn pointer_arithmetic() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             double* p;
             cudaMallocManaged((void**)&p, 8 * sizeof(double));
@@ -183,15 +166,13 @@ fn pointer_arithmetic() {
             *q = 5.5;
             return (int)(p[3] * 2.0);
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 11);
 }
 
 #[test]
 fn increments_and_compound_assign() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             int* p;
             cudaMallocManaged((void**)&p, 4 * sizeof(int));
@@ -202,15 +183,13 @@ fn increments_and_compound_assign() {
             int x = p[0]++;
             return x * 100 + p[0];
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 17 * 100 + 18);
 }
 
 #[test]
 fn new_and_delete_lowering() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             int* p = new int(2);
             int v = *p;
@@ -219,28 +198,24 @@ fn new_and_delete_lowering() {
             arr[4] = 2.5;
             return v + (int)(arr[4] * 2.0);
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 7);
 }
 
 #[test]
 fn printf_output() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             printf("n=%d x=%g s=%s\n", 7, 2.5, "ok");
             return 0;
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.stdout, "n=7 x=2.5 s=ok\n");
 }
 
 #[test]
 fn mem_advise_constants_work() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             double* p;
             cudaMallocManaged((void**)&p, 4096);
@@ -248,25 +223,24 @@ fn mem_advise_constants_work() {
             p[0] = 1.0;
             return 0;
         }
-    "#,
-    );
+    "#);
     assert_eq!(out.exit, 0);
 }
 
 #[test]
 fn runtime_errors_are_reported() {
-    let e = run_source("int main() { int x = 1 / 0; return x; }", intel_pascal(), false)
-        .map(|_| ())
-        .unwrap_err();
-    assert!(e.message.contains("division by zero"));
-
     let e = run_source(
-        "int main() { int* p; return *p; }",
+        "int main() { int x = 1 / 0; return x; }",
         intel_pascal(),
         false,
     )
     .map(|_| ())
     .unwrap_err();
+    assert!(e.message.contains("division by zero"));
+
+    let e = run_source("int main() { int* p; return *p; }", intel_pascal(), false)
+        .map(|_| ())
+        .unwrap_err();
     assert!(e.message.contains("null pointer"), "{e}");
 
     let e = run_source(
@@ -375,10 +349,8 @@ fn instrumented_run_detects_alternating_antipattern() {
     // Analyze before tracePrint resets: use a version without the pragma.
     let src = ALTERNATING_DEMO.replace("#pragma xpl diagnostic tracePrint(out; a)", "");
     let (_, interp) = run_instr(&src);
-    let report = xplacer_core::analyze(
-        &interp.tracer.smt,
-        &xplacer_core::AnalysisConfig::default(),
-    );
+    let report =
+        xplacer_core::analyze(&interp.tracer.smt, &xplacer_core::AnalysisConfig::default());
     // a->first: CPU-written, GPU-read → alternating. The Pair object
     // itself also alternates (CPU writes the pointers, GPU reads them).
     let alternating: Vec<_> = report
@@ -415,10 +387,7 @@ fn tracer_counts_match_program_structure() {
     "#;
     let (_, interp) = run_instr(src);
     let summaries = xplacer_core::summarize(&interp.tracer.smt, false);
-    let p = summaries
-        .iter()
-        .find(|s| s.size == 128)
-        .expect("p tracked");
+    let p = summaries.iter().find(|s| s.size == 128).expect("p tracked");
     // Every f64 word pair written by CPU (init) and by GPU (kernel), and
     // read by the GPU.
     assert_eq!(p.writes_c, 32);
@@ -428,15 +397,13 @@ fn tracer_counts_match_program_structure() {
 
 #[test]
 fn simulated_time_advances() {
-    let out = run(
-        r#"
+    let out = run(r#"
         int main() {
             double* p;
             cudaMallocManaged((void**)&p, 4096);
             for (int i = 0; i < 512; i++) { p[i] = 1.0; }
             return 0;
         }
-    "#,
-    );
+    "#);
     assert!(out.elapsed_ns > 0.0);
 }

@@ -288,8 +288,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 } else {
-                    let t = text
-                        .trim_end_matches(['u', 'U', 'l', 'L']);
+                    let t = text.trim_end_matches(['u', 'U', 'l', 'L']);
                     let parsed = if let Some(hex) = t.strip_prefix("0x").or(t.strip_prefix("0X")) {
                         i64::from_str_radix(hex, 16)
                     } else {
@@ -473,7 +472,10 @@ mod tests {
     #[test]
     fn pragma_continuation_lines_joined() {
         let toks = kinds("#pragma xpl replace \\\n cudaMalloc\nint x;");
-        assert_eq!(toks[0], Tok::PragmaLine("pragma xpl replace  cudaMalloc".into()));
+        assert_eq!(
+            toks[0],
+            Tok::PragmaLine("pragma xpl replace  cudaMalloc".into())
+        );
         // The continuation consumed a newline: x is still lexed.
         assert!(toks.contains(&Tok::Ident("x".into())));
     }
@@ -488,15 +490,15 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            kinds(r#""a\nb""#),
-            vec![Tok::Str("a\nb".into()), Tok::Eof]
-        );
+        assert_eq!(kinds(r#""a\nb""#), vec![Tok::Str("a\nb".into()), Tok::Eof]);
     }
 
     #[test]
     fn char_literals_become_ints() {
-        assert_eq!(kinds("'A' '\\n'"), vec![Tok::Int(65), Tok::Int(10), Tok::Eof]);
+        assert_eq!(
+            kinds("'A' '\\n'"),
+            vec![Tok::Int(65), Tok::Int(10), Tok::Eof]
+        );
     }
 
     #[test]

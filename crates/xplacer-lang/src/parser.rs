@@ -876,7 +876,10 @@ mod tests {
         let src = "int main() {\n#pragma xpl diagnostic trc(o; p)\nreturn 0; }";
         let p = parse(src).unwrap();
         let body = p.func("main").unwrap().body.as_ref().unwrap();
-        assert!(matches!(&body[0], Stmt::Pragma(XplPragma::Diagnostic { .. })));
+        assert!(matches!(
+            &body[0],
+            Stmt::Pragma(XplPragma::Diagnostic { .. })
+        ));
     }
 
     #[test]

@@ -135,9 +135,7 @@ impl<'p> TypeEnv<'p> {
                         match (&ta, &tb) {
                             (Some(t), _) if t.is_ptr() => ta,
                             (_, Some(t)) if t.is_ptr() => tb,
-                            (Some(Type::Double), _) | (_, Some(Type::Double)) => {
-                                Some(Type::Double)
-                            }
+                            (Some(Type::Double), _) | (_, Some(Type::Double)) => Some(Type::Double),
                             (Some(Type::Float), _) | (_, Some(Type::Float)) => Some(Type::Float),
                             _ => ta.or(tb),
                         }
@@ -207,9 +205,10 @@ pub fn classify_lvalue(e: &Expr) -> LvalueClass {
         Expr::Member(b, _, false) => classify_lvalue(b),
         // An already-wrapped trace call stays an l-value of its inner
         // expression's class (the wrappers return references).
-        Expr::Call(name, args) if name == "traceR" || name == "traceW" || name == "traceRW" => {
-            args.first().map(classify_lvalue).unwrap_or(LvalueClass::NotLvalue)
-        }
+        Expr::Call(name, args) if name == "traceR" || name == "traceW" || name == "traceRW" => args
+            .first()
+            .map(classify_lvalue)
+            .unwrap_or(LvalueClass::NotLvalue),
         Expr::Cast(_, b) => classify_lvalue(b),
         _ => LvalueClass::NotLvalue,
     }

@@ -254,7 +254,12 @@ pub fn unparse_expr(e: &Expr) -> String {
         }
         Expr::Index(b, i) => format!("{}[{}]", paren_if_needed(b), unparse_expr(i)),
         Expr::Member(b, f, arrow) => {
-            format!("{}{}{}", paren_if_needed(b), if *arrow { "->" } else { "." }, f)
+            format!(
+                "{}{}{}",
+                paren_if_needed(b),
+                if *arrow { "->" } else { "." },
+                f
+            )
         }
         Expr::Cast(t, b) => format!("({t}){}", paren_if_needed(b)),
         Expr::SizeofType(t) => format!("sizeof({t})"),

@@ -1,0 +1,29 @@
+//! Observability exporters for the XPlacer simulator.
+//!
+//! This crate turns the structured event stream recorded by
+//! [`hetsim::EventLog`] — plus the simulator's [`hetsim::Stats`] and the
+//! analysis layer's findings — into analysis-ready artifacts:
+//!
+//! * [`chrome_trace`] — a Chrome Trace Event Format (`trace.json`) writer
+//!   whose output loads in `chrome://tracing` or Perfetto, with kernel and
+//!   memcpy spans per stream track and counter tracks for GPU-resident
+//!   bytes and cumulative faults/migrations;
+//! * [`metrics`] — a machine-readable JSON metrics report serializing the
+//!   simulator counters, per-allocation access density, and the
+//!   anti-pattern findings;
+//! * [`heatmap`] — a CUTHERMO-style page×epoch access heatmap per
+//!   allocation (ASCII art for terminals, CSV for tooling).
+//!
+//! Everything is hand-rolled on purpose: the build environment has no
+//! registry access, so the [`json`] module provides the tiny JSON
+//! document model the exporters share.
+
+pub mod chrome_trace;
+pub mod heatmap;
+pub mod json;
+pub mod metrics;
+
+pub use chrome_trace::chrome_trace;
+pub use heatmap::HeatmapRecorder;
+pub use json::Json;
+pub use metrics::{metrics_report, stats_json};

@@ -405,14 +405,18 @@ impl Lulesh {
         // --- Time-constraint reduction: GPU writes, CPU reads.
         let dt_red = self.dt_red;
         let e_ptr = TPtr::<f64>::new(m.ld(dom, 13), self.cfg.elems());
-        m.launch("CalcTimeConstraintsForElems", 64.min(self.cfg.elems()), |i, m| {
-            let v = m.ld(e_ptr, i);
-            m.compute(4);
-            if i == 0 {
-                m.st(dt_red, 0, 1e-7 + v * 1e-20);
-                m.st(dt_red, 1, 2e-7 + v * 1e-20);
-            }
-        });
+        m.launch(
+            "CalcTimeConstraintsForElems",
+            64.min(self.cfg.elems()),
+            |i, m| {
+                let v = m.ld(e_ptr, i);
+                m.compute(4);
+                if i == 0 {
+                    m.st(dt_red, 0, 1e-7 + v * 1e-20);
+                    m.st(dt_red, 1, 2e-7 + v * 1e-20);
+                }
+            },
+        );
         let dtcourant = m.ld(dt_red, 0);
         let dthydro = m.ld(dt_red, 1);
         let newdt = dtcourant.min(dthydro);

@@ -24,7 +24,7 @@ pub struct BackpropConfig {
 
 impl BackpropConfig {
     pub fn new(input_n: usize) -> Self {
-        assert!(input_n >= HID && input_n % HID == 0);
+        assert!(input_n >= HID && input_n.is_multiple_of(HID));
         BackpropConfig { input_n }
     }
 
@@ -90,8 +90,11 @@ impl Backprop {
     pub fn run(&mut self, m: &mut Machine) {
         let n = self.cfg.input_n;
         let blocks = self.cfg.blocks();
-        let (input_cuda, weights_cuda, partial) =
-            (self.input_cuda, self.input_hidden_cuda, self.hidden_partial_sum);
+        let (input_cuda, weights_cuda, partial) = (
+            self.input_cuda,
+            self.input_hidden_cuda,
+            self.hidden_partial_sum,
+        );
 
         // Transfers in (including the input that will make a round trip).
         m.memcpy(input_cuda, self.input_host, n, CopyKind::HostToDevice);
@@ -129,12 +132,7 @@ impl Backprop {
         // Transfers out: partial sums, updated weights — and the *input*,
         // which the GPU never wrote (the unnecessary transfer).
         let partial_host = m.alloc_host::<f32>(blocks * HID);
-        m.memcpy(
-            partial_host,
-            partial,
-            blocks * HID,
-            CopyKind::DeviceToHost,
-        );
+        m.memcpy(partial_host, partial, blocks * HID, CopyKind::DeviceToHost);
         m.memcpy(
             self.weights_host,
             weights_cuda,
@@ -144,13 +142,13 @@ impl Backprop {
         m.memcpy(self.input_host, input_cuda, n, CopyKind::DeviceToHost);
 
         // CPU reduces the partial sums into hidden-unit activations.
-        let mut acc = vec![0f32; HID];
+        let mut acc = [0f32; HID];
         for b in 0..blocks {
             for (h, a) in acc.iter_mut().enumerate() {
                 *a += m.ld(partial_host, b * HID + h);
             }
         }
-        self.hidden_acc = acc;
+        self.hidden_acc = acc.to_vec();
         m.free(partial_host);
     }
 
@@ -168,7 +166,7 @@ pub fn cpu_reference(cfg: BackpropConfig) -> f64 {
     let weights: Vec<f32> = (0..(n + 1) * HID)
         .map(|_| (rng.next_f64() - 0.5) as f32)
         .collect();
-    let mut acc = vec![0f32; HID];
+    let mut acc = [0f32; HID];
     for (t, &x) in input.iter().enumerate() {
         for (h, a) in acc.iter_mut().enumerate() {
             *a += weights[(t + 1) * HID + h] * x;
@@ -203,11 +201,7 @@ mod tests {
         let r = run_backprop(&mut m, cfg);
         let want = cpu_reference(cfg);
         // Summation order matches exactly (block-major on both sides).
-        assert!(
-            (r.check - want).abs() < 1e-3,
-            "got {} want {want}",
-            r.check
-        );
+        assert!((r.check - want).abs() < 1e-3, "got {} want {want}", r.check);
     }
 
     #[test]

@@ -153,7 +153,12 @@ impl Cfd {
         // Transfer the final state back and consume it on the CPU.
         m.memcpy(self.host_out.slice(0, n), rho, n, CopyKind::DeviceToHost);
         m.memcpy(self.host_out.slice(n, n), mom, n, CopyKind::DeviceToHost);
-        m.memcpy(self.host_out.slice(2 * n, n), ene, n, CopyKind::DeviceToHost);
+        m.memcpy(
+            self.host_out.slice(2 * n, n),
+            ene,
+            n,
+            CopyKind::DeviceToHost,
+        );
         let mut s = 0.0;
         for i in 0..n {
             s += m.ld(self.host_out, i) + m.ld(self.host_out, 2 * n + i);

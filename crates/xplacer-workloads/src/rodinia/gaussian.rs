@@ -169,8 +169,8 @@ impl Gaussian {
         let mut x = vec![0f64; n];
         for i in (0..n).rev() {
             let mut s = m.ld(self.b_host, i);
-            for j in i + 1..n {
-                s -= m.ld(self.a_host, i * n + j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= m.ld(self.a_host, i * n + j) * xj;
             }
             x[i] = s / m.ld(self.a_host, i * n + i);
             m.compute((n - i) as u64);
@@ -228,9 +228,7 @@ mod tests {
         g.run(&mut m);
         let (a, b) = gen_system(cfg.n, 23);
         for i in 0..cfg.n {
-            let lhs: f64 = (0..cfg.n)
-                .map(|j| a[i * cfg.n + j] * g.solution()[j])
-                .sum();
+            let lhs: f64 = (0..cfg.n).map(|j| a[i * cfg.n + j] * g.solution()[j]).sum();
             assert!((lhs - b[i]).abs() < 1e-8, "row {i}: {lhs} vs {}", b[i]);
         }
     }

@@ -90,7 +90,10 @@ impl Lud {
     }
 
     pub fn names(&self) -> Vec<(Addr, String)> {
-        vec![(self.m_d.addr, "m_d".into()), (self.m_host.addr, "m".into())]
+        vec![
+            (self.m_d.addr, "m_d".into()),
+            (self.m_host.addr, "m".into()),
+        ]
     }
 
     /// Transfer in, decompose on the GPU, transfer out. `per_iter(k, m)`
@@ -134,8 +137,8 @@ impl Lud {
     pub fn residual(&self, m: &mut Machine) -> f64 {
         let n = self.cfg.n;
         let mut lu = vec![0f64; n * n];
-        for i in 0..n * n {
-            lu[i] = m.peek(self.m_host, i);
+        for (i, v) in lu.iter_mut().enumerate() {
+            *v = m.peek(self.m_host, i);
         }
         let mut worst: f64 = 0.0;
         for i in 0..n {
@@ -190,9 +193,9 @@ mod tests {
         let mut l = Lud::setup(&mut m, cfg);
         l.run(&mut m, |_, _| {});
         let want = cpu_reference(cfg.n, 31);
-        for i in 0..cfg.n * cfg.n {
+        for (i, &w) in want.iter().enumerate() {
             let got = m.peek(l.m_host, i);
-            assert!((got - want[i]).abs() < 1e-12, "entry {i}");
+            assert!((got - w).abs() < 1e-12, "entry {i}");
         }
     }
 
@@ -230,7 +233,10 @@ mod tests {
         });
         // Strictly decreasing GPU write counts: the shrinking access set.
         for w in writes_per_iter.windows(2) {
-            assert!(w[1] < w[0], "access set did not shrink: {writes_per_iter:?}");
+            assert!(
+                w[1] < w[0],
+                "access set did not shrink: {writes_per_iter:?}"
+            );
         }
     }
 }

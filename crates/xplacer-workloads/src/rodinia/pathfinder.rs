@@ -84,7 +84,9 @@ pub fn cpu_reference(wall: &[i32], rows: usize, cols: usize) -> Vec<i32> {
 /// Deterministic weight grid.
 pub fn gen_wall(rows: usize, cols: usize, seed: u64) -> Vec<i32> {
     let mut rng = Lcg::new(seed);
-    (0..rows * cols).map(|_| rng.next_below(10) as i32).collect()
+    (0..rows * cols)
+        .map(|_| rng.next_below(10) as i32)
+        .collect()
 }
 
 /// A set-up Pathfinder problem.
@@ -346,8 +348,8 @@ mod tests {
         let mut m = Machine::new(intel_pascal());
         let mut p = Pathfinder::setup(&mut m, cfg, PathfinderVariant::Baseline);
         p.run(&mut m, |_, _| {});
-        for c in 0..cfg.cols {
-            assert_eq!(m.peek(p.result_host, c), want[c], "column {c}");
+        for (c, &w) in want.iter().enumerate().take(cfg.cols) {
+            assert_eq!(m.peek(p.result_host, c), w, "column {c}");
         }
     }
 

@@ -98,7 +98,11 @@ pub fn cpu_reference(a: &[i32], b: &[i32]) -> i32 {
     let mut best = 0;
     for i in 1..=n {
         for j in 1..=m {
-            let s = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let s = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let v = 0
                 .max(h[(i - 1) * (m + 1) + (j - 1)] + s)
                 .max(h[(i - 1) * (m + 1) + j] - GAP)
@@ -417,7 +421,11 @@ mod tests {
         let mut href = vec![0i32; cfg.cells()];
         for i in 1..=cfg.n {
             for j in 1..=cfg.m {
-                let s = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+                let s = if a[i - 1] == b[j - 1] {
+                    MATCH
+                } else {
+                    MISMATCH
+                };
                 let v = 0
                     .max(href[(i - 1) * (cfg.m + 1) + (j - 1)] + s)
                     .max(href[(i - 1) * (cfg.m + 1) + j] - GAP)

@@ -71,8 +71,8 @@ fn main() {
         ("anti-pattern 3: unnecessary data transfers", WASTED_COPY),
     ] {
         banner(title);
-        let (out, interp) = run_source(src, platform::intel_pascal(), true)
-            .unwrap_or_else(|e| panic!("{e}"));
+        let (out, interp) =
+            run_source(src, platform::intel_pascal(), true).unwrap_or_else(|e| panic!("{e}"));
         // The program's own tracePrint output (the paper's Fig. 4 format):
         print!("{}", out.stdout);
         // The structured findings collected at the diagnostic point:

@@ -61,7 +61,9 @@ fn smith_waterman_minicu_shows_low_density_reads_of_init() {
 
 /// Plain-Rust Pathfinder with the MiniCU program's wall.
 fn pathfinder_reference(rows: usize, cols: usize) -> i64 {
-    let wall: Vec<i32> = (0..rows * cols).map(|k| ((k * 13 + 5) % 10) as i32).collect();
+    let wall: Vec<i32> = (0..rows * cols)
+        .map(|k| ((k * 13 + 5) % 10) as i32)
+        .collect();
     let mut prev: Vec<i32> = wall[..cols].to_vec();
     let mut cur = vec![0i32; cols];
     for r in 1..rows {
@@ -85,7 +87,11 @@ fn pathfinder_minicu_matches_reference() {
     let (out, _) = run_traced(&load("pathfinder.cu"));
     let want = pathfinder_reference(11, 64);
     assert_eq!(out.exit, want % 251);
-    assert!(out.stdout.contains(&format!("checksum={want}")), "{}", out.stdout);
+    assert!(
+        out.stdout.contains(&format!("checksum={want}")),
+        "{}",
+        out.stdout
+    );
     assert_eq!(out.stats.memcpy_h2d, 2);
     assert_eq!(out.stats.memcpy_d2h, 1);
 }

@@ -159,8 +159,7 @@ fn partially_traced_program() {
         }
     "#;
     let (_, interp) =
-        xplacer_interp::run_source(src, xplacer_integration_tests::test_platform(), false)
-            .unwrap();
+        xplacer_interp::run_source(src, xplacer_integration_tests::test_platform(), false).unwrap();
     assert_eq!(interp.tracer.tracked(), 0);
 }
 
@@ -225,7 +224,11 @@ fn trace_print_uses_fig4_format() {
         .find(|l| l.trim_start().starts_with('2'))
         .unwrap_or("");
     assert!(line.contains('2'), "{}", out.stdout);
-    assert!(out.stdout.contains("access density (in %): 50"), "{}", out.stdout);
+    assert!(
+        out.stdout.contains("access density (in %): 50"),
+        "{}",
+        out.stdout
+    );
 }
 
 /// Errors in the simulated program surface as runtime errors with the
@@ -291,9 +294,7 @@ fn findings_round_trip_through_reports() {
     "#;
     let (_, interp) = run_traced(src);
     let report = &interp.reports[0];
-    let transferred: Vec<&Finding> = report
-        .of_kind(FindingKind::UnnecessaryTransfer)
-        .collect();
+    let transferred: Vec<&Finding> = report.of_kind(FindingKind::UnnecessaryTransfer).collect();
     assert!(
         transferred
             .iter()

@@ -81,11 +81,8 @@ fn pathfinder_per_iteration_density_matches_iteration_count() {
         let mut m = test_machine();
         let tracer = attach_tracer(&mut m);
         let cfg = pathfinder::PathfinderConfig::new(512, rows, pyramid);
-        let mut p = pathfinder::Pathfinder::setup(
-            &mut m,
-            cfg,
-            pathfinder::PathfinderVariant::Baseline,
-        );
+        let mut p =
+            pathfinder::Pathfinder::setup(&mut m, cfg, pathfinder::PathfinderVariant::Baseline);
         register_names(&tracer, &p.names());
         tracer.borrow_mut().end_epoch(); // drop the bulk-copy epoch
         let wall = p.gpu_wall.addr;
@@ -198,7 +195,10 @@ fn diagnostics_and_maps_are_consistent() {
     );
     assert_eq!(
         s.alternating,
-        extract(e, MapKind::Alternating).iter().filter(|&&b| b).count()
+        extract(e, MapKind::Alternating)
+            .iter()
+            .filter(|&&b| b)
+            .count()
     );
 }
 
