@@ -15,4 +15,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> bench smoke + regression gate"
+cargo run --release -q -p xplacer-bench --bin reproduce_all -- --smoke
+cargo run --release -q -p xplacer-bench --bin bench -- compare \
+    crates/bench/baselines/BENCH_smoke.json results/BENCH_smoke.json \
+    --max-regress 0.10
+
 echo "ci: all checks passed"

@@ -1,0 +1,279 @@
+//! `BENCH_<name>.json` records and the regression-compare logic behind
+//! the `bench compare` binary.
+//!
+//! A bench record is the performance fingerprint of one deterministic
+//! experiment run: simulated time plus the driver counters that dominate
+//! it. Everything except `wall_ms` is simulator state and therefore
+//! exactly reproducible — `bench compare` gates on the deterministic
+//! fields and reports wall time informationally only, so the gate never
+//! flakes on a loaded CI machine.
+
+use hetsim::Stats;
+use xplacer_obs::Json;
+
+/// Schema tag written into every record.
+pub const BENCH_SCHEMA: &str = "xplacer-bench/1";
+
+/// One experiment's performance record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment name (`fig06_lulesh_speedup`, `smoke`, ...).
+    pub name: String,
+    /// Simulated run time (deterministic).
+    pub simulated_ns: f64,
+    /// Total page faults (deterministic).
+    pub faults: u64,
+    /// Total page migrations (deterministic).
+    pub migrations: u64,
+    /// Bytes moved across the bus: migrations + explicit memcpy
+    /// (deterministic).
+    pub bytes_moved: u64,
+    /// Host wall-clock time of the harness run (informational only).
+    pub wall_ms: f64,
+}
+
+impl BenchRecord {
+    /// Build a record from a finished run's counters.
+    pub fn from_run(name: &str, simulated_ns: f64, stats: &Stats, wall_ms: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            simulated_ns,
+            faults: stats.faults(),
+            migrations: stats.migrations(),
+            bytes_moved: stats.bytes_migrated + stats.memcpy_bytes,
+            wall_ms,
+        }
+    }
+
+    /// Sum several records into an aggregate (used for `BENCH_smoke.json`).
+    pub fn aggregate(name: &str, parts: &[BenchRecord]) -> BenchRecord {
+        let mut r = BenchRecord {
+            name: name.to_string(),
+            simulated_ns: 0.0,
+            faults: 0,
+            migrations: 0,
+            bytes_moved: 0,
+            wall_ms: 0.0,
+        };
+        for p in parts {
+            r.simulated_ns += p.simulated_ns;
+            r.faults += p.faults;
+            r.migrations += p.migrations;
+            r.bytes_moved += p.bytes_moved;
+            r.wall_ms += p.wall_ms;
+        }
+        r
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("schema", BENCH_SCHEMA.into())
+            .set("name", self.name.as_str().into())
+            .set("simulated_ns", Json::Num(self.simulated_ns))
+            .set("faults", self.faults.into())
+            .set("migrations", self.migrations.into())
+            .set("bytes_moved", self.bytes_moved.into())
+            .set("wall_ms", Json::Num(self.wall_ms));
+        j
+    }
+
+    /// Parse a record back out of [`BenchRecord::to_json`] text.
+    pub fn from_json(j: &Json) -> Result<BenchRecord, String> {
+        if j.get("schema").and_then(Json::as_str) != Some(BENCH_SCHEMA) {
+            return Err(format!("not a {BENCH_SCHEMA} document"));
+        }
+        let num = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing field {k}"))
+        };
+        let int = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing field {k}"))
+        };
+        Ok(BenchRecord {
+            name: j
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing field name")?
+                .to_string(),
+            simulated_ns: num("simulated_ns")?,
+            faults: int("faults")?,
+            migrations: int("migrations")?,
+            bytes_moved: int("bytes_moved")?,
+            wall_ms: num("wall_ms")?,
+        })
+    }
+
+    /// Parse a record from JSON text (one document per BENCH file).
+    pub fn parse(text: &str) -> Result<BenchRecord, String> {
+        BenchRecord::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+/// One gated metric's comparison outcome.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    pub metric: &'static str,
+    pub baseline: f64,
+    pub current: f64,
+    /// Relative change, `(current - baseline) / baseline` (0 when the
+    /// baseline is 0 and the value did not grow).
+    pub ratio: f64,
+    /// True when the change exceeds the allowed regression threshold.
+    pub regressed: bool,
+}
+
+/// Compare `current` against `baseline`: every deterministic metric may
+/// grow at most `max_regress` (relative). Improvements and wall-clock
+/// changes never fail. Returns one delta per gated metric.
+pub fn compare(
+    baseline: &BenchRecord,
+    current: &BenchRecord,
+    max_regress: f64,
+) -> Vec<MetricDelta> {
+    let gated: [(&'static str, f64, f64); 4] = [
+        ("simulated_ns", baseline.simulated_ns, current.simulated_ns),
+        ("faults", baseline.faults as f64, current.faults as f64),
+        (
+            "migrations",
+            baseline.migrations as f64,
+            current.migrations as f64,
+        ),
+        (
+            "bytes_moved",
+            baseline.bytes_moved as f64,
+            current.bytes_moved as f64,
+        ),
+    ];
+    gated
+        .into_iter()
+        .map(|(metric, b, c)| {
+            let ratio = if b > 0.0 {
+                (c - b) / b
+            } else if c > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            MetricDelta {
+                metric,
+                baseline: b,
+                current: c,
+                ratio,
+                regressed: ratio > max_regress,
+            }
+        })
+        .collect()
+}
+
+/// Render the comparison as an aligned report; `max_regress` is echoed so
+/// the CI log states the gate it applied.
+pub fn render_compare(
+    baseline: &BenchRecord,
+    current: &BenchRecord,
+    deltas: &[MetricDelta],
+    max_regress: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "bench compare: {} vs {} (max allowed regression {:.0}%)",
+        baseline.name,
+        current.name,
+        max_regress * 100.0
+    );
+    for d in deltas {
+        let _ = writeln!(
+            s,
+            "  {:<13} {:>16.0} -> {:>16.0}  {:>+8.2}%  {}",
+            d.metric,
+            d.baseline,
+            d.current,
+            d.ratio * 100.0,
+            if d.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    let wall_ratio = if baseline.wall_ms > 0.0 {
+        (current.wall_ms - baseline.wall_ms) / baseline.wall_ms * 100.0
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        s,
+        "  {:<13} {:>16.1} -> {:>16.1}  {:>+8.2}%  (informational)",
+        "wall_ms", baseline.wall_ms, current.wall_ms, wall_ratio
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(sim: f64, bytes: u64) -> BenchRecord {
+        BenchRecord {
+            name: "smoke".into(),
+            simulated_ns: sim,
+            faults: 100,
+            migrations: 50,
+            bytes_moved: bytes,
+            wall_ms: 12.5,
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_json_text() {
+        let r = record(1.5e9, 1 << 20);
+        let back = BenchRecord::parse(&r.to_json().to_string_pretty()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn compare_passes_within_threshold_and_on_improvement() {
+        let base = record(1e9, 1000);
+        let current = record(1.05e9, 900); // +5% time, fewer bytes
+        assert!(compare(&base, &current, 0.10).iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn compare_fails_beyond_threshold() {
+        let base = record(1e9, 1000);
+        let current = record(1.2e9, 1000); // +20% simulated time
+        let deltas = compare(&base, &current, 0.10);
+        let bad: Vec<_> = deltas.iter().filter(|d| d.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "simulated_ns");
+    }
+
+    #[test]
+    fn growth_from_zero_baseline_regresses() {
+        let mut base = record(1e9, 1000);
+        base.faults = 0;
+        let current = record(1e9, 1000); // faults 0 -> 100
+        let deltas = compare(&base, &current, 0.10);
+        assert!(deltas.iter().any(|d| d.metric == "faults" && d.regressed));
+    }
+
+    #[test]
+    fn wall_clock_never_gates() {
+        let base = record(1e9, 1000);
+        let mut current = base.clone();
+        current.wall_ms = base.wall_ms * 100.0;
+        assert!(compare(&base, &current, 0.10).iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn aggregate_sums_all_fields() {
+        let a = record(1e9, 1000);
+        let b = record(2e9, 500);
+        let s = BenchRecord::aggregate("smoke", &[a, b]);
+        assert_eq!(s.simulated_ns, 3e9);
+        assert_eq!(s.faults, 200);
+        assert_eq!(s.migrations, 100);
+        assert_eq!(s.bytes_moved, 1500);
+        assert_eq!(s.wall_ms, 25.0);
+    }
+}

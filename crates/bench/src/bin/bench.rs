@@ -1,0 +1,76 @@
+//! `bench` — BENCH-file tooling; currently the CI regression gate.
+//!
+//! ```text
+//! bench compare <baseline.json> <current.json> [--max-regress 0.10]
+//! ```
+//!
+//! Both files are `BENCH_<name>.json` documents written by
+//! `reproduce_all`. The deterministic metrics (simulated_ns, faults,
+//! migrations, bytes_moved) may each grow at most `--max-regress`
+//! (relative, default 10%); wall-clock time is reported but never gates.
+//! Exits 1 when any metric regressed, 2 on usage/IO errors.
+
+use std::process::ExitCode;
+
+use xplacer_bench::bench_json::{compare, render_compare, BenchRecord};
+
+fn usage() -> &'static str {
+    "usage: bench compare <baseline.json> <current.json> [--max-regress 0.10]"
+}
+
+fn read_record(path: &str) -> Result<BenchRecord, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchRecord::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("compare") {
+        return Err(usage().to_string());
+    }
+    let mut paths = Vec::new();
+    let mut max_regress = 0.10;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regress" => {
+                let v = args.get(i + 1).ok_or("--max-regress needs a value")?;
+                max_regress = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--max-regress expects a number, got `{v}`"))?;
+                if !(0.0..=10.0).contains(&max_regress) {
+                    return Err(format!("--max-regress {max_regress} out of range [0, 10]"));
+                }
+                i += 1;
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err(usage().to_string());
+    };
+    let baseline = read_record(baseline_path)?;
+    let current = read_record(current_path)?;
+    let deltas = compare(&baseline, &current, max_regress);
+    print!(
+        "{}",
+        render_compare(&baseline, &current, &deltas, max_regress)
+    );
+    Ok(deltas.iter().any(|d| d.regressed))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => {
+            eprintln!("bench compare: performance regression detected");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("bench: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,81 +1,126 @@
 //! Runs every table/figure harness and writes the collected reports to
 //! `results/` (one file per experiment) plus everything to stdout.
-//! Pass `--quick` for reduced sweeps.
+//!
+//! Modes:
+//! * default — full sweeps;
+//! * `--quick` — reduced sweeps for the slow figures;
+//! * `--smoke` — skip the figure sweeps entirely and only run each
+//!   experiment's canonical observed run, writing `BENCH_<name>.json`
+//!   per experiment plus the aggregate `BENCH_smoke.json` that
+//!   `bench compare` gates CI against.
+//!
+//! The experiment list is a fixed `Vec`, so execution order, stdout
+//! order, and the contents of `results/` are deterministic; the output
+//! directory is created idempotently (re-running over an existing
+//! `results/` just overwrites the same files).
 
 use std::fs;
+use std::process::ExitCode;
 use std::time::Instant;
 
-use xplacer_bench::figs;
+use xplacer_bench::bench_json::BenchRecord;
+use xplacer_bench::{figs, metrics_dump};
 
-fn main() {
+/// Experiments in canonical order. Keep this the single source of the
+/// ordering: smoke mode iterates the same list (skipping the report
+/// closures), so both modes agree on names and sequence.
+fn experiment_names() -> Vec<&'static str> {
+    vec![
+        "table1_api",
+        "fig04_lulesh_diagnostic",
+        "fig05_lulesh_maps",
+        "fig06_lulesh_speedup",
+        "fig07_sw_init_maps",
+        "fig08_sw_diag_maps",
+        "fig09_sw_speedup",
+        "fig10_pathfinder_maps",
+        "fig11_pathfinder_speedup",
+        "table2_rodinia_findings",
+        "table3_overhead",
+        "ablation_page_size",
+    ]
+}
+
+fn report_for(name: &str, quick: bool) -> String {
+    match name {
+        "table1_api" => figs::table1_api::report(),
+        "fig04_lulesh_diagnostic" => figs::fig04_lulesh_diagnostic::report(),
+        "fig05_lulesh_maps" => figs::fig05_lulesh_maps::report(),
+        "fig06_lulesh_speedup" => figs::fig06_lulesh_speedup::report(quick),
+        "fig07_sw_init_maps" => figs::fig07_sw_init_maps::report(),
+        "fig08_sw_diag_maps" => figs::fig08_sw_diag_maps::report(),
+        "fig09_sw_speedup" => figs::fig09_sw_speedup::report(quick),
+        "fig10_pathfinder_maps" => figs::fig10_pathfinder_maps::report(),
+        "fig11_pathfinder_speedup" => figs::fig11_pathfinder_speedup::report(quick),
+        "table2_rodinia_findings" => figs::table2_rodinia::report(),
+        "table3_overhead" => figs::table3_overhead::report(quick),
+        "ablation_page_size" => figs::ablation_page_size::report(),
+        other => unreachable!("unknown experiment {other}"),
+    }
+}
+
+fn write_or_warn(path: &std::path::Path, contents: &str) {
+    if let Err(e) = fs::write(path, contents) {
+        eprintln!("reproduce_all: cannot write {}: {e}", path.display());
+    }
+}
+
+fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let outdir = std::path::Path::new("results");
-    let _ = fs::create_dir_all(outdir);
+    if let Err(e) = fs::create_dir_all(outdir) {
+        eprintln!("reproduce_all: cannot create {}: {e}", outdir.display());
+        return ExitCode::FAILURE;
+    }
 
-    type Experiment = (&'static str, Box<dyn Fn() -> String>);
-    let experiments: Vec<Experiment> = vec![
-        ("table1_api", Box::new(figs::table1_api::report)),
-        (
-            "fig04_lulesh_diagnostic",
-            Box::new(figs::fig04_lulesh_diagnostic::report),
-        ),
-        (
-            "fig05_lulesh_maps",
-            Box::new(figs::fig05_lulesh_maps::report),
-        ),
-        (
-            "fig06_lulesh_speedup",
-            Box::new(move || figs::fig06_lulesh_speedup::report(quick)),
-        ),
-        (
-            "fig07_sw_init_maps",
-            Box::new(figs::fig07_sw_init_maps::report),
-        ),
-        (
-            "fig08_sw_diag_maps",
-            Box::new(figs::fig08_sw_diag_maps::report),
-        ),
-        (
-            "fig09_sw_speedup",
-            Box::new(move || figs::fig09_sw_speedup::report(quick)),
-        ),
-        (
-            "fig10_pathfinder_maps",
-            Box::new(figs::fig10_pathfinder_maps::report),
-        ),
-        (
-            "fig11_pathfinder_speedup",
-            Box::new(move || figs::fig11_pathfinder_speedup::report(quick)),
-        ),
-        (
-            "table2_rodinia_findings",
-            Box::new(figs::table2_rodinia::report),
-        ),
-        (
-            "table3_overhead",
-            Box::new(move || figs::table3_overhead::report(quick)),
-        ),
-        (
-            "ablation_page_size",
-            Box::new(figs::ablation_page_size::report),
-        ),
-    ];
-
-    for (name, f) in experiments {
-        let t0 = Instant::now();
-        let report = f();
-        let dt = t0.elapsed().as_secs_f64();
-        println!("{report}");
-        eprintln!("[{name}: {dt:.1}s]");
-        let _ = fs::write(outdir.join(format!("{name}.txt")), &report);
-        // Machine-readable companion: counters, allocation summaries,
-        // findings, and event digest of the experiment's canonical run.
-        if let Some(doc) = xplacer_bench::metrics_dump::experiment_metrics(name) {
-            let _ = fs::write(
-                outdir.join(format!("{name}.metrics.json")),
-                format!("{}\n", doc.to_string_pretty()),
-            );
+    let mut bench_records: Vec<BenchRecord> = Vec::new();
+    for name in experiment_names() {
+        if !smoke {
+            let t0 = Instant::now();
+            let report = report_for(name, quick);
+            let dt = t0.elapsed().as_secs_f64();
+            println!("{report}");
+            eprintln!("[{name}: {dt:.1}s]");
+            write_or_warn(&outdir.join(format!("{name}.txt")), &report);
         }
+        // Machine-readable companions: counters, allocation summaries,
+        // findings, event digest, and the BENCH performance fingerprint
+        // of the experiment's canonical run.
+        if let Some(run) = metrics_dump::experiment_run(name) {
+            write_or_warn(
+                &outdir.join(format!("{name}.metrics.json")),
+                &format!("{}\n", run.metrics.to_string_pretty()),
+            );
+            write_or_warn(
+                &outdir.join(format!("BENCH_{name}.json")),
+                &format!("{}\n", run.bench.to_json().to_string_pretty()),
+            );
+            if smoke {
+                eprintln!(
+                    "[smoke {name}: simulated {:.3} ms, {} faults, {} migrations]",
+                    run.bench.simulated_ns / 1e6,
+                    run.bench.faults,
+                    run.bench.migrations
+                );
+            }
+            bench_records.push(run.bench);
+        }
+    }
+
+    // Aggregate fingerprint: the CI regression gate diffs this one file.
+    let smoke_record = BenchRecord::aggregate("smoke", &bench_records);
+    write_or_warn(
+        &outdir.join("BENCH_smoke.json"),
+        &format!("{}\n", smoke_record.to_json().to_string_pretty()),
+    );
+
+    if smoke {
+        eprintln!(
+            "smoke bench records written to {} (aggregate BENCH_smoke.json)",
+            outdir.display()
+        );
+        return ExitCode::SUCCESS;
     }
 
     // Image (PBM) versions of the access-map figures, like the paper's
@@ -90,24 +135,25 @@ fn main() {
             ("fig05_iter2_cpu_writes", &second.cpu_writes),
             ("fig05_iter2_overlap", &second.overlap),
         ] {
-            let _ = fs::write(outdir.join(format!("{label}.pbm")), to_pbm(bits, 64));
+            write_or_warn(&outdir.join(format!("{label}.pbm")), &to_pbm(bits, 64));
         }
         let (writes, consumed, cfg) = fig07_sw_init_maps::measure();
-        let _ = fs::write(
-            outdir.join("fig07_cpu_writes.pbm"),
-            to_pbm(&writes, cfg.m + 1),
+        write_or_warn(
+            &outdir.join("fig07_cpu_writes.pbm"),
+            &to_pbm(&writes, cfg.m + 1),
         );
-        let _ = fs::write(
-            outdir.join("fig07_consumed.pbm"),
-            to_pbm(&consumed, cfg.m + 1),
+        write_or_warn(
+            &outdir.join("fig07_consumed.pbm"),
+            &to_pbm(&consumed, cfg.m + 1),
         );
         let maps = fig10_pathfinder_maps::measure();
         for (i, bits) in maps.gpu_reads_per_iter.iter().enumerate() {
-            let _ = fs::write(
-                outdir.join(format!("fig10_iter{}_gpu_reads.pbm", i + 1)),
-                to_pbm(bits, 200),
+            write_or_warn(
+                &outdir.join(format!("fig10_iter{}_gpu_reads.pbm", i + 1)),
+                &to_pbm(bits, 200),
             );
         }
     }
     eprintln!("reports + map images written to {}", outdir.display());
+    ExitCode::SUCCESS
 }

@@ -11,8 +11,9 @@
 //! than growing without bound.
 
 use std::collections::VecDeque;
+use std::rc::Rc;
 
-use crate::clock::StreamId;
+use crate::clock::{StreamId, DEFAULT_STREAM};
 use crate::hook::MemHook;
 use crate::types::{Addr, AllocKind, CopyKind, Device, MemAdvise};
 
@@ -40,8 +41,17 @@ pub enum Event {
     /// A write invalidated `copies` duplicated copies of `page`.
     Invalidate { page: u64, copies: u32 },
     /// Oversubscription evicted `pages` pages (`bytes` of GPU residency
-    /// released; dirty pages additionally migrate back to the host).
-    Evict { pages: u32, bytes: u64 },
+    /// released). `writeback_pages`/`writeback_bytes` count the dirty
+    /// subset that additionally migrated back to the host — that traffic
+    /// is folded into `Stats::migrations_d2h`/`bytes_migrated` but gets no
+    /// separate [`Event::Migration`], so consumers reconstructing totals
+    /// from the stream must read it from here.
+    Evict {
+        pages: u32,
+        bytes: u64,
+        writeback_pages: u32,
+        writeback_bytes: u64,
+    },
     /// An explicit `cudaMemcpy`/`cudaMemcpyAsync`.
     Memcpy {
         dst: Addr,
@@ -58,10 +68,15 @@ pub enum Event {
         bytes: u64,
         advice: MemAdvise,
     },
-    /// `cudaMemPrefetchAsync` over a range.
+    /// `cudaMemPrefetchAsync` over a range. `bytes` is the requested
+    /// range; `pages`/`bytes_moved` are what actually migrated (each page
+    /// counted as a migration in `Stats`, with no separate
+    /// [`Event::Migration`] emitted).
     Prefetch {
         addr: Addr,
         bytes: u64,
+        pages: u32,
+        bytes_moved: u64,
         to: Device,
         stream: StreamId,
         start_ns: f64,
@@ -99,6 +114,47 @@ impl Event {
     }
 }
 
+/// Attribution context: *who caused* an event. The machine stamps every
+/// event with the execution context that was active when it fired, so
+/// downstream profilers can charge costs to (kernel × allocation) pairs
+/// without re-deriving spans from the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrCtx {
+    /// Kernel executing when the event fired; `None` means host code.
+    /// Shared `Rc<str>` so per-event stamping stays allocation-free.
+    pub kernel: Option<Rc<str>>,
+    /// Monotonic launch sequence number distinguishing repeat launches of
+    /// the same kernel name (0 when `kernel` is `None`).
+    pub launch_seq: u64,
+    /// Stream the causing context ran on.
+    pub stream: StreamId,
+    /// Base address of the allocation the event concerns, when known.
+    pub alloc: Option<Addr>,
+}
+
+impl AttrCtx {
+    /// Host context: no kernel, default stream, no allocation.
+    pub fn host() -> Self {
+        AttrCtx {
+            kernel: None,
+            launch_seq: 0,
+            stream: DEFAULT_STREAM,
+            alloc: None,
+        }
+    }
+
+    /// Kernel name as a plain `&str`, if any.
+    pub fn kernel_name(&self) -> Option<&str> {
+        self.kernel.as_deref()
+    }
+}
+
+impl Default for AttrCtx {
+    fn default() -> Self {
+        Self::host()
+    }
+}
+
 /// An [`Event`] stamped with the simulated time (ns) it was recorded at.
 /// For span events the stamp equals `end_ns`; for events raised inside a
 /// kernel it is the launch time plus the serial driver cost accumulated so
@@ -106,6 +162,12 @@ impl Event {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimedEvent {
     pub t_ns: f64,
+    /// Simulated nanoseconds this event cost the run: the serial driver
+    /// charge for point events, the span duration for span events, zero
+    /// for free bookkeeping events (advice, kernel-begin markers).
+    pub cost_ns: f64,
+    /// Who caused the event.
+    pub ctx: AttrCtx,
     pub event: Event,
 }
 
@@ -223,6 +285,8 @@ mod tests {
     fn ev(t: f64) -> TimedEvent {
         TimedEvent {
             t_ns: t,
+            cost_ns: 0.0,
+            ctx: AttrCtx::host(),
             event: Event::Free { base: t as Addr },
         }
     }
@@ -248,6 +312,8 @@ mod tests {
             &mut log,
             &TimedEvent {
                 t_ns: 2.0,
+                cost_ns: 0.0,
+                ctx: AttrCtx::host(),
                 event: Event::KernelBegin { name: "k".into() },
             },
         );

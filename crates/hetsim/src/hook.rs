@@ -245,6 +245,8 @@ mod tests {
         let mut f = FanoutHook::from_hooks(vec![a.clone(), b.clone()]);
         f.on_event(&TimedEvent {
             t_ns: 5.0,
+            cost_ns: 0.0,
+            ctx: crate::event::AttrCtx::host(),
             event: Event::Free { base: 0x1000 },
         });
         assert_eq!(a.borrow().len(), 1);

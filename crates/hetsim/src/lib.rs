@@ -48,7 +48,7 @@ pub mod unified;
 
 pub use clock::{StreamId, DEFAULT_STREAM};
 pub use error::{SimError, SimResult};
-pub use event::{Event, EventLog, TimedEvent};
+pub use event::{AttrCtx, Event, EventLog, TimedEvent};
 pub use hook::{CountingHook, FanoutHook, MemHook};
 pub use machine::Machine;
 pub use platform::{Interconnect, Platform};

@@ -12,7 +12,7 @@ use std::rc::Rc;
 use crate::alloc::{AddressSpace, Allocation};
 use crate::clock::{Clock, StreamId, DEFAULT_STREAM};
 use crate::error::{SimError, SimResult};
-use crate::event::{Event, TimedEvent};
+use crate::event::{AttrCtx, Event, TimedEvent};
 use crate::gpumem::GpuMemory;
 use crate::hook::{FanoutHook, MemHook};
 use crate::platform::Platform;
@@ -34,9 +34,11 @@ enum ExecMode {
     Host,
     /// Inside a kernel on `dev`: word/compute costs accumulate into a
     /// parallelizable bucket, driver costs into a serial bucket; the total
-    /// is charged when the kernel ends.
+    /// is charged when the kernel ends. `stream` is where the kernel was
+    /// launched — recorded so events raised inside the kernel carry it.
     Kernel {
         dev: Device,
+        stream: StreamId,
         par_ns: f64,
         serial_ns: f64,
     },
@@ -53,9 +55,14 @@ pub struct Machine {
     clock: Clock,
     hook: Option<Rc<RefCell<dyn MemHook>>>,
     mode: ExecMode,
-    /// Name of the kernel between `kernel_begin` and its completion, for
-    /// the end-of-kernel span event.
-    cur_kernel: Option<String>,
+    /// Name of the kernel between `kernel_begin` and its completion,
+    /// shared into every event the kernel raises (`Rc` keeps per-event
+    /// attribution allocation-free).
+    cur_kernel: Option<Rc<str>>,
+    /// Monotonic kernel-launch counter; `cur_seq` is the sequence number
+    /// of the kernel currently executing (0 on the host).
+    launch_seq: u64,
+    cur_seq: u64,
 }
 
 impl Machine {
@@ -79,6 +86,8 @@ impl Machine {
             hook: None,
             mode: ExecMode::Host,
             cur_kernel: None,
+            launch_seq: 0,
+            cur_seq: 0,
             pf: platform,
         }
     }
@@ -133,11 +142,45 @@ impl Machine {
         self.hook.is_some()
     }
 
-    /// Deliver a structured event to the hook, stamped with `t_ns`.
+    /// Attribution context of the current execution mode, tagged with the
+    /// allocation the event concerns (if known).
+    fn cur_ctx(&self, alloc: Option<Addr>) -> AttrCtx {
+        match &self.mode {
+            ExecMode::Host => AttrCtx {
+                kernel: None,
+                launch_seq: 0,
+                stream: DEFAULT_STREAM,
+                alloc,
+            },
+            ExecMode::Kernel { stream, .. } => AttrCtx {
+                kernel: self.cur_kernel.clone(),
+                launch_seq: self.cur_seq,
+                stream: *stream,
+                alloc,
+            },
+        }
+    }
+
+    /// Deliver a structured event to the hook, stamped with `t_ns`, its
+    /// serial cost, and the current attribution context.
     #[inline]
-    fn emit(&self, t_ns: f64, event: Event) {
+    fn emit(&self, t_ns: f64, cost_ns: f64, alloc: Option<Addr>, event: Event) {
+        if self.hook.is_some() {
+            self.emit_with(t_ns, cost_ns, self.cur_ctx(alloc), event);
+        }
+    }
+
+    /// Deliver an event with an explicitly built context (used where the
+    /// causing context is no longer current, e.g. the kernel-end span).
+    #[inline]
+    fn emit_with(&self, t_ns: f64, cost_ns: f64, ctx: AttrCtx, event: Event) {
         if let Some(h) = &self.hook {
-            h.borrow_mut().on_event(&TimedEvent { t_ns, event });
+            h.borrow_mut().on_event(&TimedEvent {
+                t_ns,
+                cost_ns,
+                ctx,
+                event,
+            });
         }
     }
 
@@ -175,7 +218,12 @@ impl Machine {
         self.clock.advance(ALLOC_NS);
         if let Some(h) = &self.hook {
             h.borrow_mut().on_alloc(base, bytes, kind);
-            self.emit(self.clock.now(), Event::Alloc { base, bytes, kind });
+            self.emit(
+                self.clock.now(),
+                ALLOC_NS,
+                Some(base),
+                Event::Alloc { base, bytes, kind },
+            );
         }
         Ok(base)
     }
@@ -188,7 +236,7 @@ impl Machine {
         self.clock.advance(ALLOC_NS);
         if let Some(h) = &self.hook {
             h.borrow_mut().on_free(base);
-            self.emit(self.clock.now(), Event::Free { base });
+            self.emit(self.clock.now(), ALLOC_NS, Some(base), Event::Free { base });
         }
         Ok(())
     }
@@ -215,9 +263,12 @@ impl Machine {
         if a.kind != AllocKind::Managed {
             return Err(SimError::AdviseOnUnmanaged { addr });
         }
+        let alloc_base = a.base;
         self.um.advise(addr, bytes, advice);
         self.emit(
             self.clock.now(),
+            0.0,
+            Some(alloc_base),
             Event::Advise {
                 addr,
                 bytes,
@@ -240,21 +291,43 @@ impl Machine {
         if a.kind != AllocKind::Managed {
             return Err(SimError::AdviseOnUnmanaged { addr });
         }
-        let cost = self
+        let alloc_base = a.base;
+        let po = self
             .um
             .prefetch(&self.pf, &mut self.gpus, &mut self.stats, addr, bytes, dst);
+        let cost = po.cost_ns();
         let end = self.clock.enqueue(stream, cost);
         self.emit(
             end,
+            po.transfer_ns,
+            Some(alloc_base),
             Event::Prefetch {
                 addr,
                 bytes,
+                pages: po.pages,
+                bytes_moved: po.bytes_moved,
                 to: dst,
                 stream,
                 start_ns: end - cost,
                 end_ns: end,
             },
         );
+        if po.evictions > 0 {
+            // Room had to be made at the destination; report it the same
+            // way fault-path evictions are, so stream consumers see all
+            // eviction traffic as `Evict` events.
+            self.emit(
+                end,
+                po.evict_writeback_ns,
+                Some(alloc_base),
+                Event::Evict {
+                    pages: po.evictions,
+                    bytes: po.evictions as u64 * self.pf.page_size,
+                    writeback_pages: po.writeback_pages,
+                    writeback_bytes: po.writeback_bytes,
+                },
+            );
+        }
         Ok(())
     }
 
@@ -377,8 +450,13 @@ impl Machine {
         self.stats.memcpy_bytes += bytes;
         if let Some(h) = &self.hook {
             h.borrow_mut().on_memcpy(dst, src, bytes, kind);
+            // Charge the copy to the destination allocation (zero-byte
+            // copies may not resolve to one).
+            let alloc = self.mem.find(dst, 1).ok().map(|a| a.base);
             self.emit(
                 end_ns,
+                end_ns - start_ns,
+                alloc,
                 Event::Memcpy {
                     dst,
                     src,
@@ -407,7 +485,8 @@ impl Machine {
     /// Validate the access path and charge its cost.
     #[inline]
     fn pre_access(&mut self, dev: Device, addr: Addr, size: u64, write: bool) -> SimResult<()> {
-        let kind = self.mem.find_mut(addr, size)?.kind;
+        let a = self.mem.find_mut(addr, size)?;
+        let (kind, alloc_base) = (a.kind, a.base);
         let mut serial = 0.0;
         match kind {
             AllocKind::Managed => {
@@ -415,9 +494,9 @@ impl Machine {
                 let out =
                     self.um
                         .access(&self.pf, &mut self.gpus, &mut self.stats, dev, page, write);
-                serial = out.serial_ns;
+                serial = out.serial_ns();
                 if self.hook.is_some() {
-                    self.emit_access_events(dev, page, write, &out);
+                    self.emit_access_events(dev, page, write, alloc_base, &out);
                 }
             }
             AllocKind::Device(g) => {
@@ -462,18 +541,27 @@ impl Machine {
         dev: Device,
         page: u64,
         write: bool,
+        alloc_base: Addr,
         out: &crate::unified::AccessOutcome,
     ) {
         let t = match &self.mode {
             ExecMode::Host => self.clock.now(),
             ExecMode::Kernel { serial_ns, .. } => self.clock.now() + serial_ns,
         };
+        let alloc = Some(alloc_base);
         if out.fault {
-            self.emit(t, Event::PageFault { dev, page, write });
+            self.emit(
+                t,
+                out.fault_service_ns,
+                alloc,
+                Event::PageFault { dev, page, write },
+            );
         }
         if out.duplicated {
             self.emit(
                 t,
+                out.transfer_ns,
+                alloc,
                 Event::ReadDup {
                     page,
                     to: dev,
@@ -484,6 +572,8 @@ impl Machine {
         if out.migrated {
             self.emit(
                 t,
+                out.transfer_ns,
+                alloc,
                 Event::Migration {
                     page,
                     to: dev,
@@ -494,6 +584,8 @@ impl Machine {
         if out.invalidations > 0 {
             self.emit(
                 t,
+                out.invalidate_ns,
+                alloc,
                 Event::Invalidate {
                     page,
                     copies: out.invalidations,
@@ -503,9 +595,13 @@ impl Machine {
         if out.evictions > 0 {
             self.emit(
                 t,
+                out.evict_writeback_ns,
+                alloc,
                 Event::Evict {
                     pages: out.evictions,
                     bytes: out.evictions as u64 * self.pf.page_size,
+                    writeback_pages: out.writeback_pages,
+                    writeback_bytes: out.evicted_bytes,
                 },
             );
         }
@@ -635,7 +731,7 @@ impl Machine {
         threads: usize,
         mut body: impl FnMut(usize, &mut Machine),
     ) {
-        self.run_kernel(name, threads, &mut body);
+        self.run_kernel(name, DEFAULT_STREAM, threads, &mut body);
         self.kernel_finish_sync();
     }
 
@@ -647,17 +743,18 @@ impl Machine {
         threads: usize,
         mut body: impl FnMut(usize, &mut Machine),
     ) {
-        self.run_kernel(name, threads, &mut body);
+        self.run_kernel(name, stream, threads, &mut body);
         self.kernel_finish_async(stream);
     }
 
     fn run_kernel(
         &mut self,
         name: &str,
+        stream: StreamId,
         threads: usize,
         body: &mut dyn FnMut(usize, &mut Machine),
     ) {
-        self.kernel_begin(name);
+        self.kernel_begin_on(name, stream);
         for t in 0..threads {
             body(t, self);
         }
@@ -667,26 +764,40 @@ impl Machine {
     /// express the kernel as one closure, like the MiniCU interpreter).
     /// Pair with [`kernel_finish`](Self::kernel_finish).
     pub fn kernel_begin(&mut self, name: &str) {
+        self.kernel_begin_on(name, DEFAULT_STREAM);
+    }
+
+    /// [`kernel_begin`](Self::kernel_begin) with an explicit stream, so
+    /// events raised inside the kernel are attributed to it.
+    pub fn kernel_begin_on(&mut self, name: &str, stream: StreamId) {
         assert!(
             matches!(self.mode, ExecMode::Host),
             "kernel launched from inside a kernel"
         );
         self.stats.kernel_launches += 1;
+        self.launch_seq += 1;
+        self.cur_seq = self.launch_seq;
+        self.cur_kernel = Some(Rc::from(name));
+        let t = self.clock.now();
+        self.mode = ExecMode::Kernel {
+            dev: Device::GPU0,
+            stream,
+            par_ns: 0.0,
+            serial_ns: 0.0,
+        };
         if let Some(h) = &self.hook {
             h.borrow_mut().on_kernel_launch(name);
+            // Mode is already Kernel, so the begin marker carries the
+            // kernel's own attribution context.
             self.emit(
-                self.clock.now(),
+                t,
+                0.0,
+                None,
                 Event::KernelBegin {
                     name: name.to_string(),
                 },
             );
         }
-        self.cur_kernel = Some(name.to_string());
-        self.mode = ExecMode::Kernel {
-            dev: Device::GPU0,
-            par_ns: 0.0,
-            serial_ns: 0.0,
-        };
     }
 
     /// Leave GPU execution mode, returning the kernel's duration (without
@@ -704,6 +815,7 @@ impl Machine {
         };
         self.mode = ExecMode::Host;
         self.cur_kernel = None;
+        self.cur_seq = 0;
         self.pf.kernel_launch_ns + par / self.pf.gpu_parallelism + serial
     }
 
@@ -711,11 +823,11 @@ impl Machine {
     /// duration, then the completion hook and span event fire. Returns the
     /// kernel's duration.
     pub fn kernel_finish_sync(&mut self) -> f64 {
-        let name = self.cur_kernel.clone().unwrap_or_default();
+        let ctx = self.cur_ctx(None);
         let dur = self.kernel_finish();
         let start = self.clock.now();
         self.clock.advance(dur);
-        self.finish_hooks(&name, DEFAULT_STREAM, start, start + dur);
+        self.finish_hooks(ctx, start, start + dur);
         dur
     }
 
@@ -723,20 +835,28 @@ impl Machine {
     /// duration is enqueued there and the host continues. Returns the
     /// kernel's duration.
     pub fn kernel_finish_async(&mut self, stream: StreamId) -> f64 {
-        let name = self.cur_kernel.clone().unwrap_or_default();
+        let mut ctx = self.cur_ctx(None);
+        ctx.stream = stream;
         let dur = self.kernel_finish();
         let end = self.clock.enqueue(stream, dur);
-        self.finish_hooks(&name, stream, end - dur, end);
+        self.finish_hooks(ctx, end - dur, end);
         dur
     }
 
-    fn finish_hooks(&mut self, name: &str, stream: StreamId, start_ns: f64, end_ns: f64) {
+    fn finish_hooks(&mut self, ctx: AttrCtx, start_ns: f64, end_ns: f64) {
         if let Some(h) = &self.hook {
-            h.borrow_mut().on_kernel_end(name);
-            self.emit(
+            let name = ctx.kernel_name().unwrap_or_default().to_string();
+            let stream = ctx.stream;
+            h.borrow_mut().on_kernel_end(&name);
+            // The span carries the kernel's own context so its total cost
+            // folds under the kernel even though the machine is back in
+            // host mode by now.
+            self.emit_with(
                 end_ns,
+                end_ns - start_ns,
+                ctx,
                 Event::KernelEnd {
-                    name: name.to_string(),
+                    name,
                     stream,
                     start_ns,
                     end_ns,

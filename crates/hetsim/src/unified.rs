@@ -48,11 +48,25 @@ impl Default for PageState {
 }
 
 /// Outcome of one driver access, for the caller's accounting.
+///
+/// The serial cost is decomposed into the buckets a profiler charges to
+/// distinct event kinds; [`AccessOutcome::serial_ns`] sums them back into
+/// the single charge the machine applies to the clock.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AccessOutcome {
-    /// Serial (non-parallelizable) cost in nanoseconds: fault service,
-    /// page movement, invalidations, remote word transfer.
-    pub serial_ns: f64,
+    /// Fault-service overhead: fault handling latency plus any mapping
+    /// establishment or remote word transfer done *while servicing the
+    /// fault* (not the page payload itself).
+    pub fault_service_ns: f64,
+    /// Page payload movement: the transfer part of a migration or a
+    /// ReadMostly duplication.
+    pub transfer_ns: f64,
+    /// Remote word access over an already-established mapping (no fault).
+    pub remote_ns: f64,
+    /// Invalidating duplicated copies on a write.
+    pub invalidate_ns: f64,
+    /// Writing dirty evicted pages back to the host.
+    pub evict_writeback_ns: f64,
     /// The access faulted.
     pub fault: bool,
     /// The access was served through a remote mapping.
@@ -65,8 +79,68 @@ pub struct AccessOutcome {
     pub invalidations: u32,
     /// Pages evicted from GPU memory to make room.
     pub evictions: u32,
+    /// Dirty evicted pages written back to the host.
+    pub writeback_pages: u32,
     /// Bytes written back to the host by those evictions (dirty pages).
     pub evicted_bytes: u64,
+}
+
+impl AccessOutcome {
+    /// Total serial (non-parallelizable) cost in nanoseconds.
+    pub fn serial_ns(&self) -> f64 {
+        self.fault_service_ns
+            + self.transfer_ns
+            + self.remote_ns
+            + self.invalidate_ns
+            + self.evict_writeback_ns
+    }
+
+    fn absorb_eviction(&mut self, ev: EvictOutcome) {
+        self.evict_writeback_ns += ev.cost_ns;
+        self.evictions += ev.pages;
+        self.writeback_pages += ev.writeback_pages;
+        self.evicted_bytes += ev.writeback_bytes;
+    }
+}
+
+/// What making a page resident on a GPU evicted along the way.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvictOutcome {
+    /// Serial cost of the writebacks.
+    pub cost_ns: f64,
+    /// Pages evicted (dirty or clean).
+    pub pages: u32,
+    /// Dirty subset migrated back to the host.
+    pub writeback_pages: u32,
+    /// Bytes those writebacks moved.
+    pub writeback_bytes: u64,
+}
+
+/// Outcome of a `cudaMemPrefetchAsync`: the pages moved, the evictions the
+/// destination had to make, and the costs of both.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrefetchOutcome {
+    /// Transfer cost of the prefetched pages themselves.
+    pub transfer_ns: f64,
+    /// Writeback cost of evictions forced at the destination.
+    pub evict_writeback_ns: f64,
+    /// Pages the prefetch actually moved (each counted as a migration).
+    pub pages: u32,
+    /// Bytes those pages moved.
+    pub bytes_moved: u64,
+    /// Pages evicted at the destination to make room.
+    pub evictions: u32,
+    /// Dirty evicted subset written back to the host.
+    pub writeback_pages: u32,
+    /// Bytes those writebacks moved.
+    pub writeback_bytes: u64,
+}
+
+impl PrefetchOutcome {
+    /// Total serial cost to schedule on the stream.
+    pub fn cost_ns(&self) -> f64 {
+        self.transfer_ns + self.evict_writeback_ns
+    }
 }
 
 /// The driver: a dense page table covering the bump-allocated heap.
@@ -196,7 +270,7 @@ impl UmDriver {
             // Write to a read-duplicated page: invalidate all other copies
             // ("only the page where the write occurred will be valid").
             let (cost, n) = self.invalidate_others(i, page, dev, pf, gpus, stats);
-            out.serial_ns += cost;
+            out.invalidate_ns += cost;
             out.invalidations = n;
             return out;
         }
@@ -204,7 +278,7 @@ impl UmDriver {
         if st.mapped.contains(dev) {
             // Established remote mapping: access over the interconnect,
             // no fault, no migration.
-            out.serial_ns += pf.remote_word_ns;
+            out.remote_ns += pf.remote_word_ns;
             out.remote = true;
             stats.remote_accesses += 1;
             return out;
@@ -219,14 +293,13 @@ impl UmDriver {
 
         if !write && st.read_mostly {
             // Duplicate a read-only copy into the faulting processor.
-            out.serial_ns += pf.fault_ns + pf.xfer_ns(pf.page_size);
+            out.fault_service_ns += pf.fault_ns;
+            out.transfer_ns += pf.xfer_ns(pf.page_size);
             stats.duplications += 1;
             out.duplicated = true;
             if let Device::Gpu(g) = dev {
-                let (ev0, eb0) = (stats.evictions, stats.bytes_evicted);
-                out.serial_ns += self.make_resident(i, page, g, pf, gpus, stats);
-                out.evictions = (stats.evictions - ev0) as u32;
-                out.evicted_bytes = stats.bytes_evicted - eb0;
+                let ev = self.make_resident(i, page, g, pf, gpus, stats);
+                out.absorb_eviction(ev);
             }
             let st = &mut self.pages[i];
             st.copies.insert(dev);
@@ -241,7 +314,7 @@ impl UmDriver {
         if preferred_elsewhere {
             // "The faulting processor will try to directly establish a
             // mapping to the region without causing page migration."
-            out.serial_ns += pf.fault_ns * 0.25 + pf.map_ns + pf.remote_word_ns;
+            out.fault_service_ns += pf.fault_ns * 0.25 + pf.map_ns + pf.remote_word_ns;
             out.remote = true;
             stats.remote_accesses += 1;
             self.pages[i].mapped.insert(dev);
@@ -252,7 +325,7 @@ impl UmDriver {
             // NVLink coherence: the CPU maps GPU-resident pages instead of
             // pulling them back (the key platform difference behind the
             // paper's Fig. 6 IBM results).
-            out.serial_ns += pf.map_ns + pf.remote_word_ns;
+            out.fault_service_ns += pf.map_ns + pf.remote_word_ns;
             out.remote = true;
             stats.remote_accesses += 1;
             self.pages[i].mapped.insert(Device::Cpu);
@@ -260,7 +333,10 @@ impl UmDriver {
         }
 
         // Default policy: migrate the page to the faulting processor.
-        out.serial_ns += pf.page_migration_ns();
+        // `page_migration_ns` = fault service + payload transfer; keep the
+        // split visible for attribution.
+        out.fault_service_ns += pf.fault_ns;
+        out.transfer_ns += pf.page_migration_ns() - pf.fault_ns;
         out.migrated = true;
         stats.bytes_migrated += pf.page_size;
         if dev.is_gpu() {
@@ -278,10 +354,8 @@ impl UmDriver {
             }
         }
         if let Device::Gpu(g) = dev {
-            let (ev0, eb0) = (stats.evictions, stats.bytes_evicted);
-            out.serial_ns += self.make_resident(i, page, g, pf, gpus, stats);
-            out.evictions = (stats.evictions - ev0) as u32;
-            out.evicted_bytes = stats.bytes_evicted - eb0;
+            let ev = self.make_resident(i, page, g, pf, gpus, stats);
+            out.absorb_eviction(ev);
         }
         let st = &mut self.pages[i];
         st.owner = dev;
@@ -329,7 +403,7 @@ impl UmDriver {
     }
 
     /// Insert `page` into GPU `g`'s memory, handling any evictions that
-    /// makes necessary. Returns the eviction cost.
+    /// makes necessary.
     fn make_resident(
         &mut self,
         _i: usize,
@@ -338,16 +412,19 @@ impl UmDriver {
         pf: &Platform,
         gpus: &mut [GpuMemory],
         stats: &mut Stats,
-    ) -> f64 {
+    ) -> EvictOutcome {
         let evicted = gpus[g as usize].insert(page);
-        let mut cost = 0.0;
+        let mut out = EvictOutcome::default();
         for e in evicted {
             let ei = self.idx(e);
             let st = &mut self.pages[ei];
             stats.evictions += 1;
+            out.pages += 1;
             if st.owner == Device::Gpu(g) {
                 // Dirty page: write back to host.
-                cost += pf.xfer_ns(pf.page_size);
+                out.cost_ns += pf.xfer_ns(pf.page_size);
+                out.writeback_pages += 1;
+                out.writeback_bytes += pf.page_size;
                 stats.bytes_evicted += pf.page_size;
                 stats.migrations_d2h += 1;
                 stats.bytes_migrated += pf.page_size;
@@ -361,13 +438,12 @@ impl UmDriver {
                 }
             }
         }
-        cost
+        out
     }
 
     /// `cudaMemPrefetchAsync` semantics: proactively migrate the pages of
-    /// a range to `dst` without fault latency. Returns the serial cost
-    /// (data movement + any evictions) so the caller can schedule it on a
-    /// stream.
+    /// a range to `dst` without fault latency. Returns what moved and what
+    /// it cost so the caller can schedule it on a stream and report it.
     pub fn prefetch(
         &mut self,
         pf: &Platform,
@@ -376,17 +452,19 @@ impl UmDriver {
         base: u64,
         size: u64,
         dst: Device,
-    ) -> f64 {
+    ) -> PrefetchOutcome {
         let first = base / self.page_size;
         let last = (base + size.max(1) - 1) / self.page_size;
-        let mut cost = 0.0;
+        let mut out = PrefetchOutcome::default();
         for page in first..=last {
             let i = self.idx(page);
             let st = &self.pages[i];
             if !st.managed || st.copies.contains(dst) {
                 continue;
             }
-            cost += pf.xfer_ns(pf.page_size);
+            out.transfer_ns += pf.xfer_ns(pf.page_size);
+            out.pages += 1;
+            out.bytes_moved += pf.page_size;
             stats.bytes_migrated += pf.page_size;
             if dst.is_gpu() {
                 stats.migrations_h2d += 1;
@@ -402,7 +480,11 @@ impl UmDriver {
                 }
             }
             if let Device::Gpu(g) = dst {
-                cost += self.make_resident(i, page, g, pf, gpus, stats);
+                let ev = self.make_resident(i, page, g, pf, gpus, stats);
+                out.evict_writeback_ns += ev.cost_ns;
+                out.evictions += ev.pages;
+                out.writeback_pages += ev.writeback_pages;
+                out.writeback_bytes += ev.writeback_bytes;
             }
             let st = &mut self.pages[i];
             st.owner = dst;
@@ -415,7 +497,7 @@ impl UmDriver {
                 }
             }
         }
-        cost
+        out
     }
 
     /// Page size this driver was configured with.
@@ -531,7 +613,8 @@ mod tests {
         f.access(Device::Cpu, p, false);
         f.access(GPU, p, false); // duplicate
         let o = f.access(Device::Cpu, p, true); // CPU write invalidates GPU copy
-        assert!(o.serial_ns > 0.0);
+        assert!(o.serial_ns() > 0.0);
+        assert_eq!(o.serial_ns(), o.invalidate_ns);
         assert_eq!(f.stats.invalidations, 1);
         assert_eq!(f.drv.state(p).copies.len(), 1);
         assert_eq!(f.drv.state(p).owner, Device::Cpu);
@@ -651,20 +734,22 @@ mod tests {
         let p = f.page(0);
         f.access(Device::Cpu, p, true);
         let (base, size) = (f.base, 2 * f.pf.page_size);
-        let cost = f
+        let po = f
             .drv
             .prefetch(&f.pf, &mut f.gpus, &mut f.stats, base, size, GPU);
-        assert!(cost > 0.0);
+        assert!(po.cost_ns() > 0.0);
+        assert_eq!(po.pages, 2);
+        assert_eq!(po.bytes_moved, 2 * f.pf.page_size);
         assert_eq!(f.stats.gpu_faults, 0, "prefetch must not fault");
         assert_eq!(f.drv.state(p).owner, GPU);
         // Subsequent GPU access is a clean hit.
         let o = f.access(GPU, p, false);
         assert_eq!(o, AccessOutcome::default());
         // Prefetching a range already at the destination is free.
-        let c2 = f
+        let po2 = f
             .drv
             .prefetch(&f.pf, &mut f.gpus, &mut f.stats, base, size, GPU);
-        assert_eq!(c2, 0.0);
+        assert_eq!(po2, PrefetchOutcome::default());
     }
 
     #[test]
@@ -685,7 +770,9 @@ mod tests {
         f.access(GPU, f.page(0), true);
         let o = f.access(GPU, f.page(1), true);
         assert_eq!(o.evictions, 1);
+        assert_eq!(o.writeback_pages, 1);
         assert_eq!(o.evicted_bytes, f.pf.page_size, "dirty page written back");
+        assert!(o.evict_writeback_ns > 0.0);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! xplacer instrument <file.cu>            print the instrumented source
 //! xplacer run <file.cu> [options]         instrument + execute, show output
 //! xplacer analyze <file.cu> [options]     run traced and report anti-patterns
+//! xplacer advise <file.cu> [options]      run traced and print placement advice
 //! xplacer demo <workload> [options]       run a built-in workload traced
+//! xplacer profile <workload|file.cu>      cost-attribution profile of a run
 //! xplacer platforms                       list the simulated platforms
 //!
 //! options:
@@ -14,7 +16,13 @@
 //!   --trace-out <file>                    write a Chrome Trace Event JSON
 //!   --metrics-out <file>                  write a JSON metrics report
 //!   --heatmap                             print page x epoch access heatmaps
-//!   --json                                metrics report on stdout, human text on stderr
+//!   --json                                machine-readable report on stdout,
+//!                                         human text on stderr
+//!   --log-level <quiet|info|debug>        progress chatter verbosity (stderr)
+//!
+//! profile options:
+//!   --top <n>                             rows in hot-allocation/cell lists
+//!   --folded-out <file>                   write flamegraph folded stacks
 //! ```
 
 use std::cell::RefCell;
@@ -24,12 +32,17 @@ use std::rc::Rc;
 
 use hetsim::{platform, EventLog, Machine, Platform, Stats};
 use xplacer_core::antipattern::{analyze, AnalysisConfig};
-use xplacer_core::{AllocSummary, Report};
+use xplacer_core::{AllocSummary, Report, Tracer};
 use xplacer_interp::{run_source, run_source_on};
 use xplacer_lang::parser::parse;
 use xplacer_lang::unparse::unparse;
-use xplacer_obs::{chrome_trace, metrics_report, HeatmapRecorder};
+use xplacer_obs::flamegraph::folded_stacks;
+use xplacer_obs::{chrome_trace, metrics_report, HeatmapRecorder, ProfileReport};
 use xplacer_workloads::register_names;
+
+/// Ring capacity for `xplacer profile`: attribution wants the complete
+/// stream, so the profiler uses a much deeper ring than the default.
+const PROFILE_RING_CAPACITY: usize = 1 << 21;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,8 +56,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: xplacer <instrument|run|analyze|advise|demo|platforms> [args]\n\
-     try `xplacer demo lulesh` or `xplacer analyze examples/mini/alternating.cu`"
+    "usage: xplacer <instrument|run|analyze|advise|demo|profile|platforms> [args]\n\
+     try `xplacer demo lulesh`, `xplacer profile pathfinder`, or \
+     `xplacer analyze examples/mini/alternating.cu`"
         .to_string()
 }
 
@@ -59,6 +73,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => cmd_run(rest, true),
         "advise" => cmd_advise(rest),
         "demo" => cmd_demo(rest),
+        "profile" => cmd_profile(rest),
         "platforms" => {
             for pf in platform::all_platforms() {
                 println!(
@@ -77,6 +92,78 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+/// Progress-chatter verbosity, set with `--log-level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum LogLevel {
+    Quiet,
+    Info,
+    Debug,
+}
+
+/// Output routing for one invocation. All progress chatter goes through
+/// here to stderr, gated by the log level; `human()` is the sink for
+/// human-readable *results*, which move to stderr under `--json` so
+/// stdout carries exactly one JSON document (`xplacer ... --json | jq`).
+struct Ui {
+    level: LogLevel,
+    json: bool,
+}
+
+impl Ui {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut level = LogLevel::Info;
+        for (i, a) in args.iter().enumerate() {
+            if a == "--log-level" {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--log-level needs a value".to_string())?;
+                level = match v.as_str() {
+                    "quiet" => LogLevel::Quiet,
+                    "info" => LogLevel::Info,
+                    "debug" => LogLevel::Debug,
+                    other => {
+                        return Err(format!(
+                            "unknown log level `{other}` (expected quiet|info|debug)"
+                        ))
+                    }
+                };
+            }
+        }
+        Ok(Ui {
+            level,
+            json: args.iter().any(|a| a == "--json"),
+        })
+    }
+
+    /// Sink for human-readable result text.
+    fn human(&self) -> Box<dyn Write> {
+        if self.json {
+            Box::new(std::io::stderr())
+        } else {
+            Box::new(std::io::stdout())
+        }
+    }
+
+    /// Progress line (stderr, suppressed by `--log-level quiet`).
+    fn info(&self, msg: &str) {
+        if self.level >= LogLevel::Info {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// Verbose diagnostics (stderr, `--log-level debug` only).
+    fn debug(&self, msg: &str) {
+        if self.level >= LogLevel::Debug {
+            eprintln!("xplacer[debug]: {msg}");
+        }
+    }
+
+    /// Problems the user must see regardless of level.
+    fn warn(&self, msg: &str) {
+        eprintln!("xplacer: WARNING: {msg}");
     }
 }
 
@@ -126,17 +213,6 @@ impl ObsOpts {
     }
 }
 
-/// Sink for human-readable output. With `--json`, stdout carries exactly
-/// one JSON document (so `xplacer ... --json | jq` works) and everything
-/// meant for eyes moves to stderr.
-fn human(json: bool) -> Box<dyn Write> {
-    if json {
-        Box::new(std::io::stderr())
-    } else {
-        Box::new(std::io::stdout())
-    }
-}
-
 /// Observer hooks attached for one run; the CLI keeps shared handles so it
 /// can read them back after the program finishes.
 #[derive(Default)]
@@ -162,9 +238,23 @@ fn attach_observers(m: &mut Machine, opts: &ObsOpts) -> Observers {
     obs
 }
 
+/// Loud, unconditional notice when the event ring overflowed: every
+/// exporter downstream of a truncated log silently undercounts.
+fn warn_if_truncated(ui: &Ui, log: &EventLog) {
+    if log.dropped() > 0 {
+        ui.warn(&format!(
+            "event ring truncated: {} of {} events dropped — \
+             trace/metrics/profile outputs UNDERCOUNT this run",
+            log.dropped(),
+            log.total_recorded()
+        ));
+    }
+}
+
 /// Write/print the requested artifacts after a run.
 #[allow(clippy::too_many_arguments)]
 fn emit_observability(
+    ui: &Ui,
     opts: &ObsOpts,
     obs: &Observers,
     workload: &str,
@@ -174,14 +264,17 @@ fn emit_observability(
     allocs: &[AllocSummary],
     report: Option<&Report>,
 ) -> Result<(), String> {
+    if let Some(log) = &obs.log {
+        warn_if_truncated(ui, &log.borrow());
+    }
     if let Some(path) = &opts.trace_out {
         let log = obs.log.as_ref().expect("event log attached").borrow();
         let text = chrome_trace(&log).to_string_compact();
         std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!(
+        ui.info(&format!(
             "wrote chrome trace to {path} ({} events; open in chrome://tracing)",
             log.len()
-        );
+        ));
     }
     if opts.metrics_out.is_some() || opts.json {
         let log = obs.log.as_ref().map(|l| l.borrow());
@@ -198,14 +291,14 @@ fn emit_observability(
         if let Some(path) = &opts.metrics_out {
             std::fs::write(path, format!("{text}\n"))
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!("wrote metrics report to {path}");
+            ui.info(&format!("wrote metrics report to {path}"));
         }
         if opts.json {
             println!("{text}");
         }
     }
     if let Some(heat) = &obs.heat {
-        let _ = write!(human(opts.json), "{}", heat.borrow().render_ascii());
+        let _ = write!(ui.human(), "{}", heat.borrow().render_ascii());
     }
     Ok(())
 }
@@ -228,6 +321,17 @@ fn pick_platform(args: &[String]) -> Result<Platform, String> {
     Ok(pf)
 }
 
+/// Flags that consume the following argument (skipped when scanning for
+/// the positional input file).
+const VALUE_FLAGS: &[&str] = &[
+    "--platform",
+    "--trace-out",
+    "--metrics-out",
+    "--log-level",
+    "--top",
+    "--folded-out",
+];
+
 fn read_file(args: &[String]) -> Result<(String, String), String> {
     let mut skip_next = false;
     let mut path = None;
@@ -236,7 +340,7 @@ fn read_file(args: &[String]) -> Result<(String, String), String> {
             skip_next = false;
             continue;
         }
-        if a == "--platform" || a == "--trace-out" || a == "--metrics-out" {
+        if VALUE_FLAGS.contains(&a.as_str()) {
             skip_next = true;
             continue;
         }
@@ -248,6 +352,19 @@ fn read_file(args: &[String]) -> Result<(String, String), String> {
     let path = path.ok_or_else(|| "no input file given".to_string())?;
     let src = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok((path, src))
+}
+
+/// Value of `--<flag> <value>` if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return args
+                .get(i + 1)
+                .map(|s| Some(s.as_str()))
+                .ok_or_else(|| format!("{flag} needs a value"));
+        }
+    }
+    Ok(None)
 }
 
 fn cmd_instrument(args: &[String]) -> Result<(), String> {
@@ -269,23 +386,25 @@ fn cmd_instrument(args: &[String]) -> Result<(), String> {
 fn cmd_run(args: &[String], analyze_after: bool) -> Result<(), String> {
     let (path, src) = read_file(args)?;
     let pf = pick_platform(args)?;
+    let ui = Ui::parse(args)?;
     let obs_opts = ObsOpts::parse(args)?;
     let plain = args.iter().any(|a| a == "--plain");
     let instrumented = !plain;
     let mut machine = Machine::new(pf.clone());
     let obs = attach_observers(&mut machine, &obs_opts);
+    ui.debug(&format!("running {path} on {}", pf.name));
     let (out, interp) =
         run_source_on(&src, machine, instrumented).map_err(|e| format!("{path}: {e}"))?;
-    let mut h = human(obs_opts.json);
+    let mut h = ui.human();
     let _ = write!(h, "{}", out.stdout);
-    eprintln!(
+    ui.info(&format!(
         "exit {} | simulated {:.3} ms on {} | faults {} | migrations {}",
         out.exit,
         out.elapsed_ns / 1e6,
         pf.name,
         out.stats.faults(),
         out.stats.migrations()
-    );
+    ));
     if args.iter().any(|a| a == "--stats") {
         eprintln!("{}", out.stats.summary());
     }
@@ -312,6 +431,7 @@ fn cmd_run(args: &[String], analyze_after: bool) -> Result<(), String> {
     let allocs = xplacer_core::summarize(&interp.tracer.smt, false);
     let report = analyze_after.then(|| analyze(&interp.tracer.smt, &AnalysisConfig::default()));
     emit_observability(
+        &ui,
         &obs_opts,
         &obs,
         &path,
@@ -345,100 +465,111 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_demo(args: &[String]) -> Result<(), String> {
-    let Some(which) = args.first() else {
-        return Err(
-            "demo requires a workload: lulesh | sw | pathfinder | backprop | gaussian | lud | nn | cfd"
-                .into(),
-        );
-    };
-    let pf = pick_platform(args)?;
-    let obs_opts = ObsOpts::parse(&args[1..])?;
-    let mut m = Machine::new(pf.clone());
-    let tracer = xplacer_core::attach_tracer(&mut m);
-    let obs = attach_observers(&mut m, &obs_opts);
-    let names: Vec<(hetsim::Addr, String)>;
+const WORKLOADS: &str = "lulesh | sw | pathfinder | backprop | gaussian | lud | nn | cfd";
+
+/// Run one built-in workload on `m` with `tracer` attached, registering
+/// its allocation names. Returns the check value and the name table.
+fn run_builtin_workload(
+    m: &mut Machine,
+    tracer: &Rc<RefCell<Tracer>>,
+    which: &str,
+) -> Result<(f64, Vec<(hetsim::Addr, String)>), String> {
     use xplacer_workloads as w;
-    let check = match which.as_str() {
+    let names: Vec<(hetsim::Addr, String)>;
+    let check = match which {
         "lulesh" => {
             let cfg = w::lulesh::LuleshConfig::new(8, 3);
-            let mut l = w::lulesh::Lulesh::setup(&mut m, cfg, w::lulesh::LuleshVariant::Baseline);
+            let mut l = w::lulesh::Lulesh::setup(m, cfg, w::lulesh::LuleshVariant::Baseline);
             names = l.names();
-            register_names(&tracer, &names);
-            l.run(&mut m, cfg.steps, |_, _| {});
-            l.check(&mut m)
+            register_names(tracer, &names);
+            l.run(m, cfg.steps, |_, _| {});
+            l.check(m)
         }
         "sw" | "smith-waterman" => {
             let cfg = w::smith_waterman::SwConfig::square(128);
             let mut s = w::smith_waterman::SmithWaterman::setup(
-                &mut m,
+                m,
                 cfg,
                 w::smith_waterman::SwVariant::Baseline,
             );
             names = s.names();
-            register_names(&tracer, &names);
-            s.run(&mut m, |_, _| {});
-            s.peek_score(&mut m) as f64
+            register_names(tracer, &names);
+            s.run(m, |_, _| {});
+            s.peek_score(m) as f64
         }
         "pathfinder" => {
             let cfg = w::rodinia::pathfinder::PathfinderConfig::new(512, 101, 20);
             let mut p = w::rodinia::pathfinder::Pathfinder::setup(
-                &mut m,
+                m,
                 cfg,
                 w::rodinia::pathfinder::PathfinderVariant::Baseline,
             );
             names = p.names();
-            register_names(&tracer, &names);
-            p.run(&mut m, |_, _| {});
-            p.check(&mut m)
+            register_names(tracer, &names);
+            p.run(m, |_, _| {});
+            p.check(m)
         }
         "backprop" => {
             let mut b = w::rodinia::backprop::Backprop::setup(
-                &mut m,
+                m,
                 w::rodinia::backprop::BackpropConfig::new(1024),
             );
             names = b.names();
-            register_names(&tracer, &names);
-            b.run(&mut m);
+            register_names(tracer, &names);
+            b.run(m);
             b.check()
         }
         "gaussian" => {
             let mut g = w::rodinia::gaussian::Gaussian::setup(
-                &mut m,
+                m,
                 w::rodinia::gaussian::GaussianConfig::new(48),
             );
             names = g.names();
-            register_names(&tracer, &names);
-            g.run(&mut m);
+            register_names(tracer, &names);
+            g.run(m);
             g.check()
         }
         "lud" => {
-            let mut l = w::rodinia::lud::Lud::setup(&mut m, w::rodinia::lud::LudConfig::new(48));
+            let mut l = w::rodinia::lud::Lud::setup(m, w::rodinia::lud::LudConfig::new(48));
             names = l.names();
-            register_names(&tracer, &names);
-            l.run(&mut m, |_, _| {});
-            l.check(&mut m)
+            register_names(tracer, &names);
+            l.run(m, |_, _| {});
+            l.check(m)
         }
         "nn" => {
-            let mut n = w::rodinia::nn::Nn::setup(&mut m, w::rodinia::nn::NnConfig::new(2048));
+            let mut n = w::rodinia::nn::Nn::setup(m, w::rodinia::nn::NnConfig::new(2048));
             names = n.names();
-            register_names(&tracer, &names);
-            n.run(&mut m);
+            register_names(tracer, &names);
+            n.run(m);
             n.nearest().1 as f64
         }
         "cfd" => {
-            let mut c =
-                w::rodinia::cfd::Cfd::setup(&mut m, w::rodinia::cfd::CfdConfig::new(1024, 8));
+            let mut c = w::rodinia::cfd::Cfd::setup(m, w::rodinia::cfd::CfdConfig::new(1024, 8));
             names = c.names();
-            register_names(&tracer, &names);
-            c.run(&mut m);
+            register_names(tracer, &names);
+            c.run(m);
             c.check()
         }
-        other => return Err(format!("unknown workload `{other}`")),
+        other => return Err(format!("unknown workload `{other}` (expected {WORKLOADS})")),
     };
+    Ok((check, names))
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let Some(which) = args.first() else {
+        return Err(format!("demo requires a workload: {WORKLOADS}"));
+    };
+    let pf = pick_platform(args)?;
+    let ui = Ui::parse(&args[1..])?;
+    let obs_opts = ObsOpts::parse(&args[1..])?;
+    let mut m = Machine::new(pf.clone());
+    let tracer = xplacer_core::attach_tracer(&mut m);
+    let obs = attach_observers(&mut m, &obs_opts);
+    ui.debug(&format!("running demo workload {which} on {}", pf.name));
+    let (check, names) = run_builtin_workload(&mut m, &tracer, which)?;
 
     let elapsed = m.elapsed_ns();
-    let mut h = human(obs_opts.json);
+    let mut h = ui.human();
     let _ = writeln!(
         h,
         "{which} on {}: check={check:.4}, simulated {:.3} ms, faults {}, migrations {}",
@@ -461,6 +592,7 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     }
     let all_allocs = xplacer_core::summarize(&tracer.borrow().smt, false);
     emit_observability(
+        &ui,
         &obs_opts,
         &obs,
         which,
@@ -470,4 +602,79 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         &all_allocs,
         Some(&report),
     )
+}
+
+/// `xplacer profile`: run a workload (or MiniCU program) with a deep
+/// event ring and fold the attributed stream into per-kernel /
+/// per-allocation cost tables, optionally exporting flamegraph stacks.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let Some(target) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(format!(
+            "profile requires a workload ({WORKLOADS}) or a .cu file"
+        ));
+    };
+    let pf = pick_platform(args)?;
+    let ui = Ui::parse(args)?;
+    let top = match flag_value(args, "--top")? {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--top expects a number, got `{v}`"))?,
+        None => 10,
+    };
+    let folded_out = flag_value(args, "--folded-out")?.map(str::to_string);
+
+    let log = Rc::new(RefCell::new(EventLog::with_capacity(PROFILE_RING_CAPACITY)));
+    let (workload_name, elapsed, stats, names) = if target.ends_with(".cu") {
+        let src =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        let mut machine = Machine::new(pf.clone());
+        machine.add_hook(log.clone());
+        ui.debug(&format!("profiling program {target} on {}", pf.name));
+        let (out, interp) =
+            run_source_on(&src, machine, true).map_err(|e| format!("{target}: {e}"))?;
+        let names: Vec<(u64, String)> = xplacer_core::summarize(&interp.tracer.smt, false)
+            .into_iter()
+            .map(|s| (s.base, s.name))
+            .collect();
+        (target.clone(), out.elapsed_ns, out.stats, names)
+    } else {
+        let mut m = Machine::new(pf.clone());
+        let tracer = xplacer_core::attach_tracer(&mut m);
+        m.add_hook(log.clone());
+        ui.debug(&format!("profiling workload {target} on {}", pf.name));
+        let (check, _) = run_builtin_workload(&mut m, &tracer, target)?;
+        let elapsed = m.elapsed_ns();
+        ui.info(&format!(
+            "{target} on {}: check={check:.4}, simulated {:.3} ms",
+            pf.name,
+            elapsed / 1e6
+        ));
+        let names: Vec<(u64, String)> = xplacer_core::summarize(&tracer.borrow().smt, false)
+            .into_iter()
+            .map(|s| (s.base, s.name))
+            .collect();
+        (target.clone(), elapsed, m.stats.clone(), names)
+    };
+
+    let log = log.borrow();
+    warn_if_truncated(&ui, &log);
+    let report = ProfileReport::build(&workload_name, pf.name, elapsed, &log, &names);
+    debug_assert_eq!(report.totals.faults, stats.faults());
+
+    if let Some(path) = &folded_out {
+        let text = folded_stacks(pf.name, &log, &names);
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        ui.info(&format!(
+            "wrote folded stacks to {path} ({} frames; render with flamegraph.pl/inferno)",
+            text.lines().count()
+        ));
+    }
+
+    if ui.json {
+        println!("{}", report.to_json().to_string_pretty());
+        let _ = write!(ui.human(), "{}", report.render_table(top));
+    } else {
+        let _ = write!(ui.human(), "{}", report.render_table(top));
+    }
+    Ok(())
 }

@@ -121,13 +121,14 @@ impl Counters {
                 self.gpu_resident -= *bytes as f64;
                 resident = true;
             }
-            Event::Prefetch { to, bytes, .. } => {
-                // Prefetch moves the whole range toward `to`; residency is
-                // tracked approximately (pages already there don't move,
-                // and are also not re-counted by the driver's cost model).
+            Event::Prefetch {
+                to, bytes_moved, ..
+            } => {
+                // `bytes_moved` is the traffic the prefetch actually
+                // caused (pages already at the destination don't move).
                 match to {
-                    Device::Gpu(_) => self.gpu_resident += *bytes as f64,
-                    Device::Cpu => self.gpu_resident -= *bytes as f64,
+                    Device::Gpu(_) => self.gpu_resident += *bytes_moved as f64,
+                    Device::Cpu => self.gpu_resident -= *bytes_moved as f64,
                 }
                 resident = true;
             }
@@ -154,7 +155,7 @@ pub fn chrome_trace(log: &EventLog) -> Json {
     };
 
     let mut counters = Counters::default();
-    for TimedEvent { t_ns, event } in log.events() {
+    for TimedEvent { t_ns, event, .. } in log.events() {
         let t = *t_ns;
         match event {
             Event::KernelEnd {
@@ -202,6 +203,7 @@ pub fn chrome_trace(log: &EventLog) -> Json {
                 stream,
                 start_ns,
                 end_ns,
+                ..
             } => {
                 let tid = stream.0 as u64;
                 name_stream(&mut events, tid);
@@ -247,7 +249,7 @@ pub fn chrome_trace(log: &EventLog) -> Json {
                     .set("copies", (*copies as u64).into());
                 events.push(instant("invalidate", "um", t, args));
             }
-            Event::Evict { pages, bytes } => {
+            Event::Evict { pages, bytes, .. } => {
                 let mut args = Json::obj();
                 args.set("pages", (*pages as u64).into())
                     .set("bytes", (*bytes).into());

@@ -1,0 +1,177 @@
+//! Folded-stacks export for flamegraph tooling.
+//!
+//! Each line is `platform;kernel;alloc;event-kind cost_ns` — the format
+//! `flamegraph.pl` / `inferno` consume directly. A kernel's compute
+//! remainder (span time not attributed to driver events) is emitted as a
+//! three-frame `platform;kernel;compute` leaf so the rendered graph's
+//! widths sum to the run's simulated time.
+
+use std::collections::BTreeMap;
+
+use hetsim::{Event, EventLog};
+
+use crate::profile::{ProfileReport, HOST_KERNEL, NO_ALLOC};
+
+/// Fold `log` into flamegraph stacks, using `names` for allocation
+/// labels. Lines are aggregated and sorted; the output is deterministic
+/// and empty (but valid) for an empty log.
+pub fn folded_stacks(platform: &str, log: &EventLog, names: &[(u64, String)]) -> String {
+    let label_of = |base: Option<u64>| -> String {
+        match base {
+            None => NO_ALLOC.to_string(),
+            Some(b) => names
+                .iter()
+                .find(|(nb, _)| *nb == b)
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| format!("0x{b:x}")),
+        }
+    };
+
+    let mut stacks: BTreeMap<String, f64> = BTreeMap::new();
+    // Per-kernel span totals and attributed totals, to derive compute.
+    let mut span_ns: BTreeMap<String, f64> = BTreeMap::new();
+    let mut attributed_ns: BTreeMap<String, f64> = BTreeMap::new();
+
+    for te in log.events() {
+        let kernel = te.ctx.kernel_name().unwrap_or(HOST_KERNEL);
+        match &te.event {
+            Event::KernelBegin { .. } => {}
+            Event::KernelEnd { .. } => {
+                *span_ns.entry(kernel.to_string()).or_default() += te.cost_ns;
+            }
+            ev => {
+                if te.cost_ns > 0.0 {
+                    let frame = format!(
+                        "{platform};{kernel};{};{}",
+                        label_of(te.ctx.alloc),
+                        ev.kind_name()
+                    );
+                    *stacks.entry(frame).or_default() += te.cost_ns;
+                }
+                if kernel != HOST_KERNEL {
+                    *attributed_ns.entry(kernel.to_string()).or_default() += te.cost_ns;
+                }
+            }
+        }
+    }
+
+    for (kernel, span) in &span_ns {
+        let compute = span - attributed_ns.get(kernel).copied().unwrap_or(0.0);
+        if compute > 0.0 {
+            *stacks
+                .entry(format!("{platform};{kernel};compute"))
+                .or_default() += compute;
+        }
+    }
+
+    let mut out = String::new();
+    for (frame, ns) in &stacks {
+        let cost = ns.round() as u64;
+        if cost > 0 {
+            out.push_str(&format!("{frame} {cost}\n"));
+        }
+    }
+    out
+}
+
+/// [`folded_stacks`] driven by an already-built [`ProfileReport`] — used
+/// by consumers that have the report but not the raw log. Cells become
+/// `platform;kernel;alloc;<bucket>` frames with the report's cost split.
+pub fn folded_stacks_from_report(report: &ProfileReport) -> String {
+    let mut stacks: BTreeMap<String, f64> = BTreeMap::new();
+    for c in &report.cells {
+        let base = format!("{};{};{}", report.platform, c.kernel, c.label);
+        for (bucket, ns) in [
+            ("fault-stall", c.costs.fault_stall_ns),
+            ("transfer", c.costs.transfer_ns),
+            ("other", c.costs.other_ns),
+        ] {
+            if ns > 0.0 {
+                *stacks.entry(format!("{base};{bucket}")).or_default() += ns;
+            }
+        }
+    }
+    for k in &report.kernels {
+        if k.name != HOST_KERNEL && k.compute_ns > 0.0 {
+            *stacks
+                .entry(format!("{};{};compute", report.platform, k.name))
+                .or_default() += k.compute_ns;
+        }
+    }
+    let mut out = String::new();
+    for (frame, ns) in &stacks {
+        let cost = ns.round() as u64;
+        if cost > 0 {
+            out.push_str(&format!("{frame} {cost}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::{platform, EventLog, Machine};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn run_log() -> EventLog {
+        let mut m = Machine::new(platform::intel_pascal());
+        let log = Rc::new(RefCell::new(EventLog::with_capacity(1 << 20)));
+        m.attach_hook(log.clone());
+        let p = m.alloc_managed::<f64>(8192);
+        for i in 0..p.len {
+            m.st(p, i, 1.0);
+        }
+        m.launch("touch", p.len, |t, m| {
+            let _ = m.ld(p, t);
+        });
+        m.free(p);
+        let log = log.borrow().clone();
+        log
+    }
+
+    #[test]
+    fn folded_lines_are_well_formed_and_sorted() {
+        let log = run_log();
+        let text = folded_stacks("intel_pascal", &log, &[]);
+        assert!(!text.is_empty());
+        let lines: Vec<&str> = text.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "deterministic lexicographic order");
+        for line in &lines {
+            let (frame, cost) = line.rsplit_once(' ').expect("frame cost");
+            assert!(cost.parse::<u64>().is_ok(), "integer cost: {line}");
+            assert!(
+                frame.starts_with("intel_pascal;"),
+                "platform root frame: {line}"
+            );
+        }
+        assert!(
+            text.contains("intel_pascal;touch;compute"),
+            "kernel compute leaf present"
+        );
+        assert!(text.contains(";page_fault "), "fault frames present");
+    }
+
+    #[test]
+    fn empty_log_folds_to_empty_output() {
+        let log = EventLog::new();
+        assert_eq!(folded_stacks("intel_pascal", &log, &[]), "");
+    }
+
+    #[test]
+    fn names_appear_in_frames() {
+        let log = run_log();
+        let base = log
+            .events()
+            .find_map(|e| match e.event {
+                Event::Alloc { base, .. } => Some(base),
+                _ => None,
+            })
+            .unwrap();
+        let text = folded_stacks("intel_pascal", &log, &[(base, "domain".into())]);
+        assert!(text.contains(";domain;"));
+    }
+}

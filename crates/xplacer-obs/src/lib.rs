@@ -12,18 +12,28 @@
 //!   simulator counters, per-allocation access density, and the
 //!   anti-pattern findings;
 //! * [`heatmap`] — a CUTHERMO-style page×epoch access heatmap per
-//!   allocation (ASCII art for terminals, CSV for tooling).
+//!   allocation (ASCII art for terminals, CSV for tooling);
+//! * [`profile`] — a cost-attribution profiler folding the attributed
+//!   event stream into nvprof-style per-kernel tables, per-(kernel ×
+//!   allocation) cells, and hot-allocation rankings;
+//! * [`flamegraph`] — folded-stacks export
+//!   (`platform;kernel;alloc;event-kind cost_ns`) for standard flamegraph
+//!   renderers.
 //!
 //! Everything is hand-rolled on purpose: the build environment has no
 //! registry access, so the [`json`] module provides the tiny JSON
 //! document model the exporters share.
 
 pub mod chrome_trace;
+pub mod flamegraph;
 pub mod heatmap;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 
 pub use chrome_trace::chrome_trace;
+pub use flamegraph::folded_stacks;
 pub use heatmap::HeatmapRecorder;
 pub use json::Json;
 pub use metrics::{metrics_report, stats_json};
+pub use profile::ProfileReport;

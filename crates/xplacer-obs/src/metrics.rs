@@ -240,13 +240,15 @@ mod tests {
 
     #[test]
     fn event_log_digest_counts_by_kind() {
-        use hetsim::{Event, MemHook, TimedEvent};
+        use hetsim::{AttrCtx, Event, MemHook, TimedEvent};
         let mut log = EventLog::new();
         for i in 0..3 {
             MemHook::on_event(
                 &mut log,
                 &TimedEvent {
                     t_ns: i as f64,
+                    cost_ns: 0.0,
+                    ctx: AttrCtx::host(),
                     event: Event::Free { base: 0x1000 },
                 },
             );
