@@ -12,8 +12,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (bounded conformance smoke: 64 generated programs)"
+# The differential conformance harness (tests/conformance.rs) generates
+# its programs from fixed seeds, so this is deterministic; local runs
+# without the variable use the fuller 256-case default.
+XPLACER_CONFORMANCE_CASES=64 cargo test -q
 
 echo "==> bench smoke + regression gate"
 cargo run --release -q -p xplacer-bench --bin reproduce_all -- --smoke

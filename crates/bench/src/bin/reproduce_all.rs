@@ -19,27 +19,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use xplacer_bench::bench_json::BenchRecord;
+use xplacer_bench::smoke::{self, experiment_names};
 use xplacer_bench::{figs, metrics_dump};
-
-/// Experiments in canonical order. Keep this the single source of the
-/// ordering: smoke mode iterates the same list (skipping the report
-/// closures), so both modes agree on names and sequence.
-fn experiment_names() -> Vec<&'static str> {
-    vec![
-        "table1_api",
-        "fig04_lulesh_diagnostic",
-        "fig05_lulesh_maps",
-        "fig06_lulesh_speedup",
-        "fig07_sw_init_maps",
-        "fig08_sw_diag_maps",
-        "fig09_sw_speedup",
-        "fig10_pathfinder_maps",
-        "fig11_pathfinder_speedup",
-        "table2_rodinia_findings",
-        "table3_overhead",
-        "ablation_page_size",
-    ]
-}
 
 fn report_for(name: &str, quick: bool) -> String {
     match name {
@@ -74,16 +55,41 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if smoke {
+        // Byte-stable fingerprint files (wall time zeroed); the CI
+        // regression gate diffs the aggregate BENCH_smoke.json.
+        match smoke::run_smoke(outdir) {
+            Ok(records) => {
+                for r in &records {
+                    eprintln!(
+                        "[smoke {}: simulated {:.3} ms, {} faults, {} migrations]",
+                        r.name,
+                        r.simulated_ns / 1e6,
+                        r.faults,
+                        r.migrations
+                    );
+                }
+                eprintln!(
+                    "smoke bench records written to {} (aggregate BENCH_smoke.json)",
+                    outdir.display()
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("reproduce_all: smoke run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let mut bench_records: Vec<BenchRecord> = Vec::new();
     for name in experiment_names() {
-        if !smoke {
-            let t0 = Instant::now();
-            let report = report_for(name, quick);
-            let dt = t0.elapsed().as_secs_f64();
-            println!("{report}");
-            eprintln!("[{name}: {dt:.1}s]");
-            write_or_warn(&outdir.join(format!("{name}.txt")), &report);
-        }
+        let t0 = Instant::now();
+        let report = report_for(name, quick);
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{report}");
+        eprintln!("[{name}: {dt:.1}s]");
+        write_or_warn(&outdir.join(format!("{name}.txt")), &report);
         // Machine-readable companions: counters, allocation summaries,
         // findings, event digest, and the BENCH performance fingerprint
         // of the experiment's canonical run.
@@ -96,14 +102,6 @@ fn main() -> ExitCode {
                 &outdir.join(format!("BENCH_{name}.json")),
                 &format!("{}\n", run.bench.to_json().to_string_pretty()),
             );
-            if smoke {
-                eprintln!(
-                    "[smoke {name}: simulated {:.3} ms, {} faults, {} migrations]",
-                    run.bench.simulated_ns / 1e6,
-                    run.bench.faults,
-                    run.bench.migrations
-                );
-            }
             bench_records.push(run.bench);
         }
     }
@@ -114,14 +112,6 @@ fn main() -> ExitCode {
         &outdir.join("BENCH_smoke.json"),
         &format!("{}\n", smoke_record.to_json().to_string_pretty()),
     );
-
-    if smoke {
-        eprintln!(
-            "smoke bench records written to {} (aggregate BENCH_smoke.json)",
-            outdir.display()
-        );
-        return ExitCode::SUCCESS;
-    }
 
     // Image (PBM) versions of the access-map figures, like the paper's
     // graphical maps. Convert with e.g. `magick fig05_cpu_writes.pbm x.png`.

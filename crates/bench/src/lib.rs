@@ -14,6 +14,7 @@
 pub mod bench_json;
 pub mod figs;
 pub mod metrics_dump;
+pub mod smoke;
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,63 @@
+//! The `--smoke` bench fingerprint as a library routine, so tests can run
+//! it into scratch directories and assert byte-stability.
+//!
+//! Smoke mode writes, per experiment, the canonical observed run's
+//! `<name>.metrics.json` and `BENCH_<name>.json`, plus the aggregate
+//! `BENCH_smoke.json` the CI regression gate diffs. Wall-clock time is
+//! zeroed in these records: the smoke fingerprint is purely simulated, so
+//! every file is byte-identical across runs and machines (`bench compare`
+//! treats wall time as informational only and never gates on it).
+
+use std::fs;
+use std::path::Path;
+
+use crate::bench_json::BenchRecord;
+use crate::metrics_dump;
+
+/// Experiments in canonical order. Keep this the single source of the
+/// ordering: full and smoke modes iterate the same list, so both agree on
+/// names and sequence.
+pub fn experiment_names() -> Vec<&'static str> {
+    vec![
+        "table1_api",
+        "fig04_lulesh_diagnostic",
+        "fig05_lulesh_maps",
+        "fig06_lulesh_speedup",
+        "fig07_sw_init_maps",
+        "fig08_sw_diag_maps",
+        "fig09_sw_speedup",
+        "fig10_pathfinder_maps",
+        "fig11_pathfinder_speedup",
+        "table2_rodinia_findings",
+        "table3_overhead",
+        "ablation_page_size",
+    ]
+}
+
+/// Run every experiment's canonical observed run and write the smoke
+/// fingerprint files into `outdir` (created if needed). Returns the
+/// per-experiment records in canonical order.
+pub fn run_smoke(outdir: &Path) -> std::io::Result<Vec<BenchRecord>> {
+    fs::create_dir_all(outdir)?;
+    let mut records = Vec::new();
+    for name in experiment_names() {
+        if let Some(mut run) = metrics_dump::experiment_run(name) {
+            run.bench.wall_ms = 0.0;
+            fs::write(
+                outdir.join(format!("{name}.metrics.json")),
+                format!("{}\n", run.metrics.to_string_pretty()),
+            )?;
+            fs::write(
+                outdir.join(format!("BENCH_{name}.json")),
+                format!("{}\n", run.bench.to_json().to_string_pretty()),
+            )?;
+            records.push(run.bench);
+        }
+    }
+    let agg = BenchRecord::aggregate("smoke", &records);
+    fs::write(
+        outdir.join("BENCH_smoke.json"),
+        format!("{}\n", agg.to_json().to_string_pretty()),
+    )?;
+    Ok(records)
+}

@@ -1,0 +1,146 @@
+//! Differential conformance oracles for the XPlacer reproduction.
+//!
+//! Three independent cross-checks (see DESIGN.md §13):
+//!
+//! 1. [`generator`] + [`check_program`] — random well-typed MiniCU
+//!    programs; parse→unparse→parse must be a fixpoint, the plain and
+//!    source-instrumented interpretations must agree on semantics and
+//!    simulator counters, and re-running the instrumented *text* through
+//!    the plain pipeline must reproduce the traced run exactly (stats,
+//!    shadow-memory flags, anti-pattern reports).
+//! 2. [`refmodel`] — a naive reference UM page-map model run in lockstep
+//!    with `hetsim`'s driver through the `MemHook` seam.
+//! 3. [`snapshot`] + [`golden`] — committed golden reports for the 8
+//!    workloads and the mini example programs, with an `XPLACER_BLESS=1`
+//!    regeneration path.
+
+pub mod generator;
+pub mod golden;
+pub mod mutate;
+pub mod refmodel;
+pub mod snapshot;
+
+use hetsim::platform;
+use xplacer_core::AccessFlags;
+use xplacer_interp::{run_source, Interp, Outcome};
+use xplacer_lang::ast::Program;
+use xplacer_lang::parser::parse;
+use xplacer_lang::unparse::unparse;
+
+/// A stable fingerprint of the tracer's shadow memory after a run: one
+/// line per live SMT entry with base, size, kind, and the per-word access
+/// flag bytes.
+pub fn shadow_digest(interp: &Interp) -> String {
+    let mut out = String::new();
+    for e in interp.tracer.smt.iter() {
+        out.push_str(&format!("{:#x} {} {:?} ", e.base, e.size, e.kind));
+        for f in &e.shadow {
+            let AccessFlags(bits) = *f;
+            out.push_str(&format!("{bits:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Rendered concatenation of every diagnostic report a run collected.
+pub fn reports_digest(interp: &Interp) -> String {
+    interp
+        .reports
+        .iter()
+        .map(|r| r.render())
+        .collect::<Vec<_>>()
+        .join("\n---\n")
+}
+
+fn run(src: &str, instrumented: bool) -> Result<(Outcome, Interp), String> {
+    run_source(src, platform::intel_pascal(), instrumented)
+        .map_err(|e| format!("run (instrumented={instrumented}): {e}"))
+}
+
+/// The generated-program oracle. Checks, for one program:
+///
+/// 1. `parse(unparse(prog)) == prog` and unparsing is stable;
+/// 2. plain vs. source-instrumented interpretation agree on exit code,
+///    stdout (absent diagnostics, which only print when traced), and
+///    simulator counters;
+/// 3. interpreting the unparsed *instrumented text* through the plain
+///    pipeline reproduces the traced run bit-for-bit: exit, stdout,
+///    stats, shadow-memory flags, and anti-pattern reports.
+///
+/// Returns a description of the first violated property.
+pub fn check_program(prog: &Program) -> Result<(), String> {
+    // (1) Textual fixpoint.
+    let src = unparse(prog);
+    let reparsed = parse(&src).map_err(|e| format!("reparse of unparsed AST failed: {e}"))?;
+    if &reparsed != prog {
+        return Err("parse(unparse(prog)) != prog".into());
+    }
+    if unparse(&reparsed) != src {
+        return Err("unparse not stable across parse roundtrip".into());
+    }
+
+    // (2) Instrumentation preserves semantics and machine behavior.
+    let (plain_out, _plain) = run(&src, false)?;
+    let (traced_out, traced) = run(&src, true)?;
+    if plain_out.exit != traced_out.exit {
+        return Err(format!(
+            "exit diverges: plain {} vs traced {}",
+            plain_out.exit, traced_out.exit
+        ));
+    }
+    if !generator::has_diagnostic(prog) && plain_out.stdout != traced_out.stdout {
+        return Err(format!(
+            "stdout diverges:\n--- plain ---\n{}\n--- traced ---\n{}",
+            plain_out.stdout, traced_out.stdout
+        ));
+    }
+    if plain_out.stats != traced_out.stats {
+        return Err(format!(
+            "stats diverge:\n--- plain ---\n{}\n--- traced ---\n{}",
+            plain_out.stats.summary(),
+            traced_out.stats.summary()
+        ));
+    }
+
+    // (3) instrument -> unparse -> reparse -> plain interpret must equal
+    // the direct traced interpretation.
+    let inst_src = unparse(&xplacer_instrument::instrument(&reparsed).program);
+    let (inst_out, inst) = run(&inst_src, false)?;
+    if inst_out.exit != traced_out.exit || inst_out.stdout != traced_out.stdout {
+        return Err(format!(
+            "instrumented-text run diverges from traced run: exit {} vs {}\n\
+             --- instrumented-text stdout ---\n{}\n--- traced stdout ---\n{}",
+            inst_out.exit, traced_out.exit, inst_out.stdout, traced_out.stdout
+        ));
+    }
+    if inst_out.stats != traced_out.stats {
+        return Err(format!(
+            "instrumented-text stats diverge:\n--- text ---\n{}\n--- traced ---\n{}",
+            inst_out.stats.summary(),
+            traced_out.stats.summary()
+        ));
+    }
+    let (da, db) = (shadow_digest(&inst), shadow_digest(&traced));
+    if da != db {
+        return Err(format!(
+            "shadow memory diverges:\n--- instrumented-text ---\n{da}\n--- traced ---\n{db}"
+        ));
+    }
+    let (ra, rb) = (reports_digest(&inst), reports_digest(&traced));
+    if ra != rb {
+        return Err(format!(
+            "reports diverge:\n--- instrumented-text ---\n{ra}\n--- traced ---\n{rb}"
+        ));
+    }
+    Ok(())
+}
+
+/// Number of generator-oracle cases to run: `XPLACER_CONFORMANCE_CASES`
+/// if set (CI smoke uses 64), else 256.
+pub fn conformance_cases() -> u64 {
+    std::env::var("XPLACER_CONFORMANCE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}

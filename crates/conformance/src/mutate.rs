@@ -1,0 +1,68 @@
+//! Deterministic source mutation for negative-path testing: given a valid
+//! MiniCU source, produce broken variants that must make the frontend
+//! return a spanned error (or, occasionally, still parse) — never panic.
+
+use proptest::TestRng;
+
+/// Characters likely to break lexing or parsing when spliced in.
+const NOISE: &[char] = &[
+    '(', ')', '{', '}', '[', ']', ';', '*', '&', '<', '>', '#', '"', '\'', '@', '$', '`', '%',
+    '\\', '\u{7f}',
+];
+
+/// Apply one random mutation to `src`. Mutations operate on char
+/// boundaries so the result is always valid UTF-8.
+pub fn mutate(src: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    if chars.is_empty() {
+        return "@".to_string();
+    }
+    let pos = rng.below(chars.len() as u64) as usize;
+    match rng.below(6) {
+        // Truncate: unterminated constructs.
+        0 => chars[..pos].iter().collect(),
+        // Delete a span.
+        1 => {
+            let len = 1 + rng.below(8) as usize;
+            let end = (pos + len).min(chars.len());
+            chars[..pos].iter().chain(&chars[end..]).collect()
+        }
+        // Duplicate a span.
+        2 => {
+            let len = 1 + rng.below(8) as usize;
+            let end = (pos + len).min(chars.len());
+            let mut out: Vec<char> = chars[..end].to_vec();
+            out.extend(&chars[pos..end]);
+            out.extend(&chars[end..]);
+            out.into_iter().collect()
+        }
+        // Replace one char with noise.
+        3 => {
+            let mut out = chars.clone();
+            out[pos] = NOISE[rng.below(NOISE.len() as u64) as usize];
+            out.into_iter().collect()
+        }
+        // Insert a noise char.
+        4 => {
+            let mut out = chars.clone();
+            out.insert(pos, NOISE[rng.below(NOISE.len() as u64) as usize]);
+            out.into_iter().collect()
+        }
+        // Swap two chars.
+        _ => {
+            let q = rng.below(chars.len() as u64) as usize;
+            let mut out = chars.clone();
+            out.swap(pos, q);
+            out.into_iter().collect()
+        }
+    }
+}
+
+/// Apply 1..=3 stacked mutations.
+pub fn mutate_some(src: &str, rng: &mut TestRng) -> String {
+    let mut out = src.to_string();
+    for _ in 0..1 + rng.below(3) {
+        out = mutate(&out, rng);
+    }
+    out
+}

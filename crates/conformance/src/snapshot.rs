@@ -1,0 +1,54 @@
+//! Golden-file snapshot comparison with a bless path.
+//!
+//! `check_or_bless(path, actual)` compares `actual` to the committed
+//! snapshot at `path`. Set `XPLACER_BLESS=1` to rewrite snapshots instead
+//! of comparing (then review the diff and commit it).
+
+use std::fs;
+use std::path::Path;
+
+/// Whether this process runs in bless mode.
+pub fn blessing() -> bool {
+    std::env::var_os("XPLACER_BLESS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Compare `actual` to the snapshot at `path`, or rewrite it in bless
+/// mode. Returns a descriptive error on mismatch.
+pub fn check_or_bless(path: &Path, actual: &str) -> Result<(), String> {
+    if blessing() {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        return fs::write(path, actual).map_err(|e| format!("write {}: {e}", path.display()));
+    }
+    let expected = fs::read_to_string(path).map_err(|e| {
+        format!(
+            "missing snapshot {} ({e}); regenerate with XPLACER_BLESS=1",
+            path.display()
+        )
+    })?;
+    if expected == actual {
+        return Ok(());
+    }
+    // Report the first differing line with context.
+    let (mut line_no, mut exp_line, mut act_line) = (0usize, "", "");
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            (line_no, exp_line, act_line) = (i + 1, e, a);
+            break;
+        }
+    }
+    if line_no == 0 {
+        // Same common prefix: lengths differ.
+        line_no = expected.lines().count().min(actual.lines().count()) + 1;
+        exp_line = expected.lines().nth(line_no - 1).unwrap_or("<eof>");
+        act_line = actual.lines().nth(line_no - 1).unwrap_or("<eof>");
+    }
+    Err(format!(
+        "snapshot mismatch {} at line {line_no}:\n  expected: {exp_line}\n  actual:   {act_line}\n\
+         (expected {} lines, got {}; re-bless with XPLACER_BLESS=1 if intended)",
+        path.display(),
+        expected.lines().count(),
+        actual.lines().count()
+    ))
+}

@@ -15,7 +15,7 @@
 //! Recency is only updated on (re)insertion — i.e. on a fault — never on
 //! plain accesses, so the hot path stays O(1).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Victim selection strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,14 +27,24 @@ pub enum EvictionPolicy {
 }
 
 /// Residency tracker for one GPU.
+///
+/// Insertion order is kept exact (the conformance FIFO tests pin it down)
+/// without O(n) removals: `order` is a queue of `(seq, page)` entries and
+/// `index` maps each resident page to the sequence number of its *live*
+/// entry. Removal just drops the index entry, leaving a tombstone in the
+/// queue; tombstones are skipped during victim selection and compacted
+/// away once they outnumber live entries.
 #[derive(Debug)]
 pub struct GpuMemory {
     capacity_pages: u64,
     policy: EvictionPolicy,
-    /// Resident pages, in insertion order (compacted on release).
-    order: Vec<u64>,
-    /// page → index into `order`.
-    index: HashMap<u64, usize>,
+    /// Resident pages in exact insertion order, possibly interleaved with
+    /// tombstones (entries whose seq no longer matches `index`).
+    order: VecDeque<(u64, u64)>,
+    /// page → seq of its live entry in `order`.
+    index: HashMap<u64, u64>,
+    /// Next insertion sequence number.
+    next_seq: u64,
     /// xorshift state for Random policy (deterministic).
     rng: u64,
 }
@@ -52,8 +62,9 @@ impl GpuMemory {
         GpuMemory {
             capacity_pages: (capacity_bytes / page_size).max(1),
             policy,
-            order: Vec::new(),
+            order: VecDeque::new(),
             index: HashMap::new(),
+            next_seq: 0,
             rng: 0x9E3779B97F4A7C15,
         }
     }
@@ -92,6 +103,11 @@ impl GpuMemory {
         x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 
+    /// Whether a queue entry still represents a resident page.
+    fn live(&self, entry: (u64, u64)) -> bool {
+        self.index.get(&entry.1) == Some(&entry.0)
+    }
+
     /// Make `page` resident (or refresh its insertion recency), evicting
     /// other pages if capacity is exceeded. Returns the evicted pages.
     pub fn insert(&mut self, page: u64) -> Vec<u64> {
@@ -99,18 +115,32 @@ impl GpuMemory {
         let mut evicted = Vec::new();
         while self.index.len() as u64 > self.capacity_pages {
             let victim = match self.policy {
-                EvictionPolicy::Fifo => self.order.iter().copied().find(|&p| p != page),
+                // Oldest live entry, skipping the just-inserted page.
+                EvictionPolicy::Fifo => self
+                    .order
+                    .iter()
+                    .copied()
+                    .find(|&e| self.live(e) && e.1 != page)
+                    .map(|e| e.1),
                 EvictionPolicy::Random => {
-                    // Up to a few tries to avoid the just-inserted page.
+                    // Up to a few tries to dodge tombstones and the
+                    // just-inserted page, then fall back to a scan.
                     let mut pick = None;
                     for _ in 0..8 {
                         let i = (self.next_rand() % self.order.len() as u64) as usize;
-                        if self.order[i] != page {
-                            pick = Some(self.order[i]);
+                        let e = self.order[i];
+                        if self.live(e) && e.1 != page {
+                            pick = Some(e.1);
                             break;
                         }
                     }
-                    pick.or_else(|| self.order.iter().copied().find(|&p| p != page))
+                    pick.or_else(|| {
+                        self.order
+                            .iter()
+                            .copied()
+                            .find(|&e| self.live(e) && e.1 != page)
+                            .map(|e| e.1)
+                    })
                 }
             };
             match victim {
@@ -127,27 +157,32 @@ impl GpuMemory {
     /// Refresh insertion recency of `page`, inserting it if absent. Does
     /// not evict.
     pub fn touch(&mut self, page: u64) {
-        self.remove_from_order(page);
-        self.index.insert(page, self.order.len());
-        self.order.push(page);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Any previous entry for this page becomes a tombstone.
+        self.index.insert(page, seq);
+        self.order.push_back((seq, page));
+        self.maybe_compact();
     }
 
     /// Drop `page` from device memory (migrated away or invalidated).
     pub fn release(&mut self, page: u64) {
-        self.remove_from_order(page);
+        self.index.remove(&page);
+        // The queue entry stays as a tombstone until compaction.
+        self.maybe_compact();
     }
 
-    fn remove_from_order(&mut self, page: u64) {
-        if let Some(i) = self.index.remove(&page) {
-            // Swap-remove keeps O(1); FIFO order is approximate after
-            // releases, which is fine — releases are rare relative to
-            // inserts and the policy is already an approximation.
-            let last = self.order.len() - 1;
-            self.order.swap(i, last);
-            self.order.pop();
-            if i < self.order.len() {
-                self.index.insert(self.order[i], i);
+    /// Keep tombstones bounded: once they outnumber live entries, rebuild
+    /// the queue from live entries only (order preserved). Amortized O(1).
+    fn maybe_compact(&mut self) {
+        if self.order.len() >= 8 && self.order.len() > 2 * self.index.len() {
+            let mut kept = VecDeque::with_capacity(self.index.len());
+            for &e in &self.order {
+                if self.index.get(&e.1) == Some(&e.0) {
+                    kept.push_back(e);
+                }
             }
+            self.order = kept;
         }
     }
 

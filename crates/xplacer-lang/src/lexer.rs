@@ -3,11 +3,13 @@
 
 use std::fmt;
 
-/// A token with its source line (for error messages).
+/// A token with its source position (for error messages). `line` and
+/// `col` are 1-based; `col` is the column of the token's first character.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     pub kind: Tok,
     pub line: u32,
+    pub col: u32,
 }
 
 /// Token kinds.
@@ -128,16 +130,17 @@ impl Tok {
     }
 }
 
-/// Lexing error.
+/// Lexing error with a 1-based line:column position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LexError {
     pub line: u32,
+    pub col: u32,
     pub message: String,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -148,18 +151,28 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let b: Vec<char> = src.chars().collect();
     let mut i = 0usize;
     let mut line = 1u32;
+    // Char index where the current line begins; columns are 1-based
+    // offsets from it.
+    let mut line_start = 0usize;
     let mut out = Vec::new();
-    macro_rules! push {
-        ($k:expr) => {
-            out.push(Token { kind: $k, line })
-        };
-    }
     while i < b.len() {
         let c = b[i];
+        // Column of the token (or error) starting at `i`.
+        let col = (i - line_start + 1) as u32;
+        macro_rules! push {
+            ($k:expr) => {
+                out.push(Token {
+                    kind: $k,
+                    line,
+                    col,
+                })
+            };
+        }
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             '/' if i + 1 < b.len() && b[i + 1] == '/' => {
@@ -168,16 +181,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let (start_line, start_col) = (line, col);
                 i += 2;
                 while i + 1 < b.len() && !(b[i] == '*' && b[i + 1] == '/') {
                     if b[i] == '\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     i += 1;
                 }
                 if i + 1 >= b.len() {
                     return Err(LexError {
-                        line,
+                        line: start_line,
+                        col: start_col,
                         message: "unterminated block comment".into(),
                     });
                 }
@@ -197,6 +213,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         text.pop();
                         line += 1;
                         i += 1; // consume newline, continue collecting
+                        line_start = i;
                     } else {
                         break;
                     }
@@ -204,7 +221,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 push!(Tok::PragmaLine(text.trim().to_string()));
             }
             '"' => {
-                let start_line = line;
+                let (start_line, start_col) = (line, col);
                 let mut s = String::new();
                 i += 1;
                 while i < b.len() && b[i] != '"' {
@@ -221,6 +238,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     } else {
                         if b[i] == '\n' {
                             line += 1;
+                            line_start = i + 1;
                         }
                         s.push(b[i]);
                     }
@@ -229,6 +247,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 if i >= b.len() {
                     return Err(LexError {
                         line: start_line,
+                        col: start_col,
                         message: "unterminated string literal".into(),
                     });
                 }
@@ -257,6 +276,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 if b.get(i) != Some(&'\'') {
                     return Err(LexError {
                         line,
+                        col,
                         message: "unterminated char literal".into(),
                     });
                 }
@@ -283,6 +303,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         Err(_) => {
                             return Err(LexError {
                                 line,
+                                col,
                                 message: format!("bad float literal `{text}`"),
                             })
                         }
@@ -299,6 +320,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         Err(_) => {
                             return Err(LexError {
                                 line,
+                                col,
                                 message: format!("bad integer literal `{text}`"),
                             })
                         }
@@ -377,6 +399,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         other => {
                             return Err(LexError {
                                 line,
+                                col,
                                 message: format!("unexpected character `{other}`"),
                             })
                         }
@@ -391,6 +414,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     out.push(Token {
         kind: Tok::Eof,
         line,
+        col: (b.len() - line_start + 1) as u32,
     });
     Ok(out)
 }
@@ -527,6 +551,24 @@ mod tests {
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[1].line, 2);
         assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn columns_tracked() {
+        let toks = lex("ab + cd\n  x").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1)); // ab
+        assert_eq!((toks[1].line, toks[1].col), (1, 4)); // +
+        assert_eq!((toks[2].line, toks[2].col), (1, 6)); // cd
+        assert_eq!((toks[3].line, toks[3].col), (2, 3)); // x
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let e = lex("int x;\n  @").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 3));
+        assert_eq!(e.to_string(), "line 2:3: unexpected character `@`");
+        let e = lex("x = \"abc").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 5));
     }
 
     #[test]

@@ -6,16 +6,21 @@ use std::fmt;
 use crate::ast::*;
 use crate::lexer::{lex, LexError, Tok, Token};
 
-/// Parse error with source line.
+/// Parse error with a 1-based line:column source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     pub line: u32,
+    pub col: u32,
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "parse error at line {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -25,6 +30,7 @@ impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
         ParseError {
             line: e.line,
+            col: e.col,
             message: e.message,
         }
     }
@@ -74,8 +80,10 @@ impl Parser {
         &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
     }
 
-    fn line(&self) -> u32 {
-        self.toks[self.pos].line
+    /// (line, col) of the token at the cursor.
+    fn pos(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
     }
 
     fn bump(&mut self) -> Tok {
@@ -104,18 +112,17 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError {
-            line: self.line(),
-            message,
-        }
+        let (line, col) = self.pos();
+        ParseError { line, col, message }
     }
 
     fn ident(&mut self) -> PResult<String> {
-        let line = self.line();
+        let (line, col) = self.pos();
         match self.bump() {
             Tok::Ident(s) => Ok(s),
             other => Err(ParseError {
                 line,
+                col,
                 message: format!("expected identifier, found `{other}`"),
             }),
         }
@@ -612,7 +619,7 @@ impl Parser {
     }
 
     fn primary(&mut self) -> PResult<Expr> {
-        let line = self.line();
+        let (line, col) = self.pos();
         match self.bump() {
             Tok::Int(v) => Ok(Expr::IntLit(v)),
             Tok::Float(v) => Ok(Expr::FloatLit(v)),
@@ -647,6 +654,7 @@ impl Parser {
             }
             other => Err(ParseError {
                 line,
+                col,
                 message: format!("unexpected token `{other}` in expression"),
             }),
         }
@@ -901,6 +909,17 @@ mod tests {
     fn error_reports_line() {
         let err = parse("int main() {\n  int x = ;\n}").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn error_reports_line_and_column() {
+        // The offending `;` sits at line 2, column 11.
+        let err = parse("int main() {\n  int x = ;\n}").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 11));
+        assert!(err.to_string().starts_with("parse error at line 2:11: "));
+        // Lex errors keep their position through the From conversion.
+        let err = parse("int main() {\n  int x = `;\n}").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 11));
     }
 
     #[test]

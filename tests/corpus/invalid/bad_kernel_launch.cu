@@ -1,0 +1,8 @@
+__global__ void k(int* a) {}
+
+int main() {
+  int* p;
+  cudaMallocManaged((void**)&p, 64);
+  k<<<1>>>(p);
+  return 0;
+}

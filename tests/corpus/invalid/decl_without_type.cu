@@ -1,0 +1,5 @@
+int main() {
+  x = 3;
+  int = 4;
+  return 0;
+}

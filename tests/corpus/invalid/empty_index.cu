@@ -1,0 +1,6 @@
+int main() {
+  int* p;
+  cudaMallocManaged((void**)&p, 64);
+  p[] = 1;
+  return 0;
+}

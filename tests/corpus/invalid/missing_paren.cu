@@ -1,0 +1,7 @@
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1 {
+    i = i;
+  }
+  return 0;
+}

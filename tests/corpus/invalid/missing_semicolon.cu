@@ -1,0 +1,4 @@
+int main() {
+  int x = 1
+  return x;
+}

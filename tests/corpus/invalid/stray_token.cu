@@ -1,0 +1,5 @@
+int main() {
+  int x = 0;
+  x = x @ 1;
+  return x;
+}

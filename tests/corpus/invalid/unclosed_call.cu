@@ -1,0 +1,5 @@
+int main() {
+  int* p;
+  cudaMallocManaged((void**)&p, 64;
+  return 0;
+}

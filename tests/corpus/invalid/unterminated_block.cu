@@ -1,0 +1,5 @@
+int main() {
+  int x = 1;
+  if (x) {
+    x = 2;
+  return x;

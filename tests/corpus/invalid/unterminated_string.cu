@@ -1,0 +1,4 @@
+int main() {
+  printf("hello
+  return 0;
+}

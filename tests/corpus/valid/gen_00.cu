@@ -1,0 +1,65 @@
+__global__ void k0(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[i] += (i - a[i]);
+        a[((i + 2) % n)] += (a[((i + 5) % n)] - i);
+    }
+}
+
+__global__ void k1(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[i] -= (i - a[((i + 7) % n)]);
+        a[((i + 5) % n)] += b[((i + 7) % n)];
+    }
+}
+
+__global__ void k2(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[i] = a[i];
+    }
+}
+
+int main() {
+    int* p0;
+    cudaMallocManaged((void**)(&p0), (39 * sizeof(int)));
+    int* p1;
+    cudaMallocManaged((void**)(&p1), (39 * sizeof(int)));
+    int* p2;
+    cudaMallocManaged((void**)(&p2), (39 * sizeof(int)));
+    for (int i = 0; (i < 39); i++) {
+        p0[i] = ((i * i) * i);
+    }
+    for (int i = 0; (i < 39); i++) {
+        p1[i] = (i * 4);
+    }
+    for (int i = 0; (i < 39); i++) {
+        p2[i] = i;
+    }
+    cudaMemPrefetchAsync(p2, (39 * sizeof(int)), -(1));
+    k0<<<2, 32>>>(p2, p0, 39);
+    cudaDeviceSynchronize();
+    for (int i = 0; (i < 39); i++) {
+        p0[((i + 3) % 39)] += (p2[i] - (i - p2[((i + 5) % 39)]));
+    }
+    k1<<<2, 32>>>(p1, p0, 39);
+    cudaDeviceSynchronize();
+    k2<<<2, 32>>>(p2, p1, 39);
+    cudaDeviceSynchronize();
+    cudaMemAdvise(p0, (39 * sizeof(int)), 5, 0);
+    int acc = 0;
+    for (int i = 0; (i < 39); i++) {
+        acc += p0[i];
+    }
+    for (int i = 0; (i < 39); i++) {
+        acc += p1[i];
+    }
+    for (int i = 0; (i < 39); i++) {
+        acc += p2[i];
+    }
+    printf("acc=%d\n", acc);
+    cudaFree(p0);
+    return (acc % 251);
+}
+

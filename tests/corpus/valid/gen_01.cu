@@ -1,0 +1,39 @@
+__global__ void k0(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[((i + 3) % n)] = a[i];
+        a[i] -= b[((i + 3) % n)];
+    }
+}
+
+int main() {
+    int* p0;
+    cudaMallocManaged((void**)(&p0), (12 * sizeof(int)));
+    int* p1;
+    cudaMalloc((void**)(&p1), (12 * sizeof(int)));
+    int* p2;
+    p2 = (int*)malloc((12 * sizeof(int)));
+    for (int i = 0; (i < 12); i++) {
+        p0[i] = i;
+    }
+    for (int i = 0; (i < 12); i++) {
+        p2[i] = (i * i);
+    }
+    cudaMemcpy(p1, p0, (12 * sizeof(int)), 1);
+    cudaMemAdvise(p0, (12 * sizeof(int)), 5, -(1));
+    cudaMemAdvise(p0, (12 * sizeof(int)), 2, -(1));
+    k0<<<1, 32>>>(p0, p1, 12);
+    cudaDeviceSynchronize();
+    cudaMemAdvise(p0, (12 * sizeof(int)), 5, -(1));
+#pragma xpl diagnostic tracePrint(out; p0)
+    int acc = 0;
+    for (int i = 0; (i < 12); i++) {
+        acc += p0[i];
+    }
+    for (int i = 0; (i < 12); i++) {
+        acc += p2[i];
+    }
+    printf("acc=%d\n", acc);
+    return (acc % 251);
+}
+

@@ -1,0 +1,24 @@
+__global__ void k0(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[((i + 2) % n)] += ((5 * a[((i + 5) % n)]) * (i - 6));
+    }
+}
+
+int main() {
+    int* p0;
+    cudaMallocManaged((void**)(&p0), (25 * sizeof(int)));
+    for (int i = 0; (i < 25); i++) {
+        p0[i] = (i - i);
+    }
+    k0<<<1, 32>>>(p0, p0, 25);
+    cudaDeviceSynchronize();
+    int acc = 0;
+    for (int i = 0; (i < 25); i++) {
+        acc += p0[i];
+    }
+    printf("acc=%d\n", acc);
+    cudaFree(p0);
+    return (acc % 251);
+}
+

@@ -1,0 +1,41 @@
+__global__ void k0(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[i] -= ((a[((i + 2) % n)] - b[((i + 4) % n)]) * (i * a[((i + 7) % n)]));
+        a[i] -= (a[i] + i);
+    }
+}
+
+__global__ void k1(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[((i + 6) % n)] += b[((i + 3) % n)];
+        a[((i + 5) % n)] -= 4;
+    }
+}
+
+int main() {
+    int* p0;
+    cudaMallocManaged((void**)(&p0), (31 * sizeof(int)));
+    for (int i = 0; (i < 31); i++) {
+        p0[i] = (5 * i);
+    }
+    k0<<<1, 32>>>(p0, p0, 31);
+    cudaDeviceSynchronize();
+    for (int i = 0; (i < 31); i++) {
+        p0[((i + 7) % 31)] = i;
+    }
+    for (int i = 0; (i < 31); i++) {
+        p0[((i + 3) % 31)] += 5;
+    }
+    k1<<<1, 32>>>(p0, p0, 31);
+    cudaDeviceSynchronize();
+#pragma xpl diagnostic tracePrint(out; p0)
+    int acc = 0;
+    for (int i = 0; (i < 31); i++) {
+        acc += p0[i];
+    }
+    printf("acc=%d\n", acc);
+    return (acc % 251);
+}
+

@@ -1,0 +1,32 @@
+__global__ void k0(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[((i + 5) % n)] -= (8 * (a[i] - a[i]));
+    }
+}
+
+int main() {
+    int* p0;
+    cudaMallocManaged((void**)(&p0), (51 * sizeof(int)));
+    int* p1;
+    cudaMalloc((void**)(&p1), (51 * sizeof(int)));
+    for (int i = 0; (i < 51); i++) {
+        p0[i] = ((i * i) + (i + i));
+    }
+    cudaMemcpy(p0, p1, (51 * sizeof(int)), 2);
+    k0<<<2, 32>>>(p1, p0, 51);
+    cudaDeviceSynchronize();
+    cudaMemcpy(p1, p0, (51 * sizeof(int)), 3);
+    for (int i = 0; (i < 51); i++) {
+        p0[((i + 6) % 51)] -= ((p0[((i + 1) % 51)] + p0[((i + 3) % 51)]) - p0[((i + 7) % 51)]);
+    }
+    int acc = 0;
+    for (int i = 0; (i < 51); i++) {
+        acc += p0[i];
+    }
+    printf("acc=%d\n", acc);
+    cudaFree(p0);
+    cudaFree(p1);
+    return (acc % 251);
+}
+

@@ -1,0 +1,37 @@
+__global__ void k0(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[i] -= (8 * b[((i + 1) % n)]);
+    }
+}
+
+int main() {
+    int* p0;
+    cudaMallocManaged((void**)(&p0), (58 * sizeof(int)));
+    int* p1;
+    cudaMallocManaged((void**)(&p1), (58 * sizeof(int)));
+    int* p2;
+    cudaMalloc((void**)(&p2), (58 * sizeof(int)));
+    for (int i = 0; (i < 58); i++) {
+        p0[i] = ((i * 14) + 13);
+    }
+    for (int i = 0; (i < 58); i++) {
+        p1[i] = (1 - 12);
+    }
+    k0<<<2, 32>>>(p1, p1, 58);
+    cudaDeviceSynchronize();
+    cudaMemcpy(p0, p2, (58 * sizeof(int)), 3);
+    int acc = 0;
+    for (int i = 0; (i < 58); i++) {
+        acc += p0[i];
+    }
+    for (int i = 0; (i < 58); i++) {
+        acc += p1[i];
+    }
+    printf("acc=%d\n", acc);
+    cudaFree(p0);
+    cudaFree(p1);
+    cudaFree(p2);
+    return (acc % 251);
+}
+

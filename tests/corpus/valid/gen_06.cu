@@ -1,0 +1,33 @@
+__global__ void k0(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[i] += (1 * b[((i + 1) % n)]);
+    }
+}
+
+int main() {
+    int* p0;
+    cudaMallocManaged((void**)(&p0), (58 * sizeof(int)));
+    int* p1;
+    cudaMallocManaged((void**)(&p1), (58 * sizeof(int)));
+    for (int i = 0; (i < 58); i++) {
+        p0[i] = (i + 6);
+    }
+    for (int i = 0; (i < 58); i++) {
+        p1[i] = (i - i);
+    }
+    k0<<<2, 32>>>(p0, p1, 58);
+    cudaDeviceSynchronize();
+#pragma xpl diagnostic tracePrint(out; p0)
+    int acc = 0;
+    for (int i = 0; (i < 58); i++) {
+        acc += p0[i];
+    }
+    for (int i = 0; (i < 58); i++) {
+        acc += p1[i];
+    }
+    printf("acc=%d\n", acc);
+    cudaFree(p1);
+    return (acc % 251);
+}
+

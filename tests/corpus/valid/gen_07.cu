@@ -1,0 +1,52 @@
+__global__ void k0(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[((i + 6) % n)] += 15;
+        a[((i + 2) % n)] = ((i * b[i]) + 0);
+    }
+}
+
+__global__ void k1(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[i] -= (a[i] - 8);
+    }
+}
+
+__global__ void k2(int* a, int* b, int n) {
+    int i = (threadIdx.x + (blockIdx.x * blockDim.x));
+    if ((i < n)) {
+        a[i] += (0 * 0);
+    }
+}
+
+int main() {
+    int* p0;
+    cudaMallocManaged((void**)(&p0), (26 * sizeof(int)));
+    int* p1;
+    p1 = (int*)malloc((26 * sizeof(int)));
+    for (int i = 0; (i < 26); i++) {
+        p0[i] = (11 - 4);
+    }
+    for (int i = 0; (i < 26); i++) {
+        p1[i] = (15 + 8);
+    }
+    k0<<<1, 32>>>(p0, p0, 26);
+    cudaDeviceSynchronize();
+    k1<<<1, 32>>>(p0, p0, 26);
+    cudaDeviceSynchronize();
+    k2<<<1, 32>>>(p0, p0, 26);
+    cudaDeviceSynchronize();
+    int acc = 0;
+    for (int i = 0; (i < 26); i++) {
+        acc += p0[i];
+    }
+    for (int i = 0; (i < 26); i++) {
+        acc += p1[i];
+    }
+    printf("acc=%d\n", acc);
+    cudaFree(p0);
+    free(p1);
+    return (acc % 251);
+}
+

@@ -96,6 +96,50 @@ pub trait StrategyExt: Strategy + Sized {
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
         Map { inner: self, f }
     }
+
+    /// Erase the concrete strategy type behind a cheaply clonable handle
+    /// (the real proptest's `BoxedStrategy` is also reference-counted).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+
+    /// Recursive strategies: start from `self` as the leaf generator and
+    /// apply `branch` `depth` times, where each application may embed the
+    /// previous level as a sub-strategy. Because the handle passed to
+    /// `branch` is the *finite* previous level (not a lazy self
+    /// reference), recursion depth is bounded by construction — no
+    /// probabilistic depth control is needed, unlike the real crate's
+    /// `(depth, desired_size, expected_branch_size, branch)` signature.
+    fn prop_recursive<F>(self, depth: u32, branch: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            level = branch(level.clone());
+        }
+        level
+    }
+}
+
+/// A clonable, type-erased strategy handle (see [`StrategyExt::boxed`]).
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
 }
 
 impl<S: Strategy> StrategyExt for S {}
@@ -280,8 +324,8 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just, ProptestConfig,
-        Strategy, StrategyExt, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, StrategyExt, TestCaseError,
     };
 }
 
@@ -431,6 +475,56 @@ mod tests {
             }
         }
         assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn boxed_handles_clone_and_share_generation() {
+        let s = (0u64..10).prop_map(|v| v * 2).boxed();
+        let t = s.clone();
+        let mut rng = crate::TestRng::deterministic("boxed");
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v % 2 == 0 && v < 20);
+            let w = Strategy::generate(&t, &mut rng);
+            assert!(w % 2 == 0 && w < 20);
+        }
+    }
+
+    #[test]
+    fn prop_recursive_bounds_depth_and_reaches_it() {
+        // Expression-shaped tree: leaves are 0, branches add one level.
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = crate::Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(4, |inner| {
+                prop_oneof![
+                    crate::Just(()).prop_map(|_| Tree::Leaf),
+                    (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+                ]
+                .boxed()
+            });
+        let mut rng = crate::TestRng::deterministic("recursive");
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            let t = Strategy::generate(&s, &mut rng);
+            let d = depth(&t);
+            assert!(d <= 4, "depth {d} escaped the bound");
+            max_seen = max_seen.max(d);
+        }
+        assert!(
+            max_seen >= 2,
+            "recursion never fired (max depth {max_seen})"
+        );
     }
 
     proptest! {
