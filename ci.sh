@@ -24,4 +24,11 @@ cargo run --release -q -p xplacer-bench --bin bench -- compare \
     crates/bench/baselines/BENCH_smoke.json results/BENCH_smoke.json \
     --max-regress 0.10
 
+echo "==> access-path microbench + throughput gate"
+cargo run --release -q -p xplacer-bench --bin access_path -- --smoke \
+    --out results/BENCH_access_path.json
+cargo run --release -q -p xplacer-bench --bin bench -- compare-access \
+    crates/bench/baselines/BENCH_access_path.json results/BENCH_access_path.json \
+    --max-regress 0.20
+
 echo "ci: all checks passed"

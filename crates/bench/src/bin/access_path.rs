@@ -1,0 +1,63 @@
+//! `access_path` — the contiguous-sweep access-path microbenchmark.
+//!
+//! ```text
+//! access_path [--smoke] [--out <path>]
+//! ```
+//!
+//! Measures traced simulator throughput with the bulk fast path off and
+//! on, prints the summary, and writes `BENCH_access_path.json` (default
+//! `results/BENCH_access_path.json`) for `bench compare-access`.
+
+use std::process::ExitCode;
+
+use xplacer_bench::access_path::{run_access_path, AccessPathConfig};
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = "results/BENCH_access_path.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = args.get(i + 1).ok_or("--out needs a path")?.clone();
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let cfg = if smoke {
+        AccessPathConfig::smoke()
+    } else {
+        AccessPathConfig::full()
+    };
+    let rec = run_access_path(&cfg);
+    println!(
+        "access_path ({} allocs, {} elems{}):",
+        rec.allocs,
+        rec.elems,
+        if smoke { ", smoke" } else { "" }
+    );
+    println!("  per-word  {:>14.0} ops/sec", rec.ops_per_sec_word);
+    println!("  bulk      {:>14.0} ops/sec", rec.ops_per_sec_bulk);
+    println!("  speedup   {:>13.1}x", rec.speedup);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&out, format!("{}\n", rec.to_json().to_string_pretty()))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("  wrote {out}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("access_path: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,36 +1,40 @@
-//! `bench` — BENCH-file tooling; currently the CI regression gate.
+//! `bench` — BENCH-file tooling; currently the CI regression gates.
 //!
 //! ```text
 //! bench compare <baseline.json> <current.json> [--max-regress 0.10]
+//! bench compare-access <baseline.json> <current.json> [--max-regress 0.20]
 //! ```
 //!
-//! Both files are `BENCH_<name>.json` documents written by
-//! `reproduce_all`. The deterministic metrics (simulated_ns, faults,
+//! `compare` diffs two `BENCH_<name>.json` documents written by
+//! `reproduce_all`: the deterministic metrics (simulated_ns, faults,
 //! migrations, bytes_moved) may each grow at most `--max-regress`
 //! (relative, default 10%); wall-clock time is reported but never gates.
-//! Exits 1 when any metric regressed, 2 on usage/IO errors.
+//!
+//! `compare-access` diffs two `BENCH_access_path.json` documents written
+//! by the `access_path` microbenchmark: the bulk-vs-per-word speedup
+//! ratio may shrink at most `--max-regress` (default 20%) and must stay
+//! above the absolute floor; absolute ops/sec is informational.
+//!
+//! Exits 1 when a gate fails, 2 on usage/IO errors.
 
 use std::process::ExitCode;
 
+use xplacer_bench::access_path::{compare_access, render_access_compare, AccessPathRecord};
 use xplacer_bench::bench_json::{compare, render_compare, BenchRecord};
 
 fn usage() -> &'static str {
-    "usage: bench compare <baseline.json> <current.json> [--max-regress 0.10]"
+    "usage: bench compare <baseline.json> <current.json> [--max-regress 0.10]\n\
+    \x20      bench compare-access <baseline.json> <current.json> [--max-regress 0.20]"
 }
 
-fn read_record(path: &str) -> Result<BenchRecord, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    BenchRecord::parse(&text).map_err(|e| format!("{path}: {e}"))
+fn read_text(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn run() -> Result<bool, String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("compare") {
-        return Err(usage().to_string());
-    }
+fn parse_args(args: &[String], default_regress: f64) -> Result<(String, String, f64), String> {
     let mut paths = Vec::new();
-    let mut max_regress = 0.10;
-    let mut i = 1;
+    let mut max_regress = default_regress;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--max-regress" => {
@@ -48,24 +52,49 @@ fn run() -> Result<bool, String> {
         }
         i += 1;
     }
-    let [baseline_path, current_path] = paths.as_slice() else {
+    let [baseline, current] = paths.as_slice() else {
         return Err(usage().to_string());
     };
-    let baseline = read_record(baseline_path)?;
-    let current = read_record(current_path)?;
-    let deltas = compare(&baseline, &current, max_regress);
-    print!(
-        "{}",
-        render_compare(&baseline, &current, &deltas, max_regress)
-    );
-    Ok(deltas.iter().any(|d| d.regressed))
+    Ok((baseline.clone(), current.clone(), max_regress))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => {
+            let (bp, cp, max_regress) = parse_args(&args[1..], 0.10)?;
+            let baseline =
+                BenchRecord::parse(&read_text(&bp)?).map_err(|e| format!("{bp}: {e}"))?;
+            let current = BenchRecord::parse(&read_text(&cp)?).map_err(|e| format!("{cp}: {e}"))?;
+            let deltas = compare(&baseline, &current, max_regress);
+            print!(
+                "{}",
+                render_compare(&baseline, &current, &deltas, max_regress)
+            );
+            Ok(deltas.iter().any(|d| d.regressed))
+        }
+        Some("compare-access") => {
+            let (bp, cp, max_regress) = parse_args(&args[1..], 0.20)?;
+            let baseline =
+                AccessPathRecord::parse(&read_text(&bp)?).map_err(|e| format!("{bp}: {e}"))?;
+            let current =
+                AccessPathRecord::parse(&read_text(&cp)?).map_err(|e| format!("{cp}: {e}"))?;
+            let delta = compare_access(&baseline, &current, max_regress);
+            print!(
+                "{}",
+                render_access_compare(&baseline, &current, &delta, max_regress)
+            );
+            Ok(delta.failed())
+        }
+        _ => Err(usage().to_string()),
+    }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(false) => ExitCode::SUCCESS,
         Ok(true) => {
-            eprintln!("bench compare: performance regression detected");
+            eprintln!("bench: performance regression detected");
             ExitCode::FAILURE
         }
         Err(msg) => {

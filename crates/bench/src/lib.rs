@@ -11,6 +11,7 @@
 //! claims being reproduced are shapes — who wins, by what factor, where
 //! crossovers fall — not absolute times.
 
+pub mod access_path;
 pub mod bench_json;
 pub mod figs;
 pub mod metrics_dump;

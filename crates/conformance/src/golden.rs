@@ -103,6 +103,55 @@ pub fn workload_doc(name: &str) -> String {
     )
 }
 
+/// Run workload `name` with the bulk fast path on or off and render a
+/// fingerprint covering everything the fast path could perturb: simulated
+/// time (bit-exact), simulator counters, the full timed event stream,
+/// shadow-flag bytes of every SMT entry, and the rendered anti-pattern
+/// report. `workload_bulk_fingerprint(n, true)` must equal
+/// `workload_bulk_fingerprint(n, false)` for every workload — the bulk
+/// path is an optimisation, never an observable behaviour change.
+pub fn workload_bulk_fingerprint(name: &str, bulk: bool) -> String {
+    let pf = platform::intel_pascal();
+    let mut m = Machine::new(pf);
+    m.set_bulk_enabled(bulk);
+    let tracer = attach_tracer(&mut m);
+    let log = Rc::new(RefCell::new(EventLog::new()));
+    m.add_hook(log.clone());
+    run_workload(&mut m, name);
+    let mut doc = format!(
+        "workload: {name}\nelapsed_bits: {:#018x}\n\n== stats ==\n{}",
+        m.elapsed_ns().to_bits(),
+        m.stats.summary(),
+    );
+    let log = log.borrow();
+    doc.push_str(&format!(
+        "\n== events ({} recorded, {} dropped) ==\n",
+        log.total_recorded(),
+        log.dropped()
+    ));
+    for ev in log.events() {
+        doc.push_str(&format!(
+            "t={:#018x} cost={:#018x} {:?} {:?}\n",
+            ev.t_ns.to_bits(),
+            ev.cost_ns.to_bits(),
+            ev.ctx,
+            ev.event
+        ));
+    }
+    let tr = tracer.borrow();
+    doc.push_str("\n== shadow ==\n");
+    for e in tr.smt.iter() {
+        doc.push_str(&format!("{:#x}+{} live={} ", e.base, e.size, e.live));
+        for w in &e.shadow {
+            doc.push_str(&format!("{:02x}", w.0));
+        }
+        doc.push('\n');
+    }
+    let report = analyze(&tr.smt, &AnalysisConfig::default());
+    doc.push_str(&format!("\n== report ==\n{}", report.render()));
+    doc
+}
+
 /// Run mini-CUDA source traced and render its golden document: exit code,
 /// program stdout (including `tracePrint` diagnostics), every collected
 /// report, the final whole-heap report, and the simulator counters.
@@ -134,14 +183,23 @@ pub struct LockstepResult {
     pub divergences: Vec<String>,
     pub checked_accesses: u64,
     pub checked_events: u64,
+    pub checked_ranges: u64,
 }
 
 /// Run workload `name` with a [`LockstepHook`] attached (alongside the
 /// tracer, as in production) and cross-check every driver action against
 /// the reference model, including final page states.
 pub fn lockstep_workload(name: &str) -> LockstepResult {
+    lockstep_workload_with(name, true)
+}
+
+/// [`lockstep_workload`] with explicit control over the machine's bulk
+/// fast path, so the sweep can pin the reference model against both the
+/// ranged (`on_access_range`) and the per-word hook decompositions.
+pub fn lockstep_workload_with(name: &str, bulk: bool) -> LockstepResult {
     let pf = platform::intel_pascal();
     let mut m = Machine::new(pf.clone());
+    m.set_bulk_enabled(bulk);
     let hook = Rc::new(RefCell::new(LockstepHook::new(
         pf.page_size,
         pf.cpu_direct_access_gpu,
@@ -154,5 +212,6 @@ pub fn lockstep_workload(name: &str) -> LockstepResult {
         divergences: h.divergences.clone(),
         checked_accesses: h.checked_accesses,
         checked_events: h.checked_events,
+        checked_ranges: h.checked_ranges,
     }
 }

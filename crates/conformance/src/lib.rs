@@ -58,6 +58,13 @@ fn run(src: &str, instrumented: bool) -> Result<(Outcome, Interp), String> {
         .map_err(|e| format!("run (instrumented={instrumented}): {e}"))
 }
 
+fn run_per_word(src: &str, instrumented: bool) -> Result<(Outcome, Interp), String> {
+    let mut m = hetsim::Machine::new(platform::intel_pascal());
+    m.set_bulk_enabled(false);
+    xplacer_interp::run_source_on(src, m, instrumented)
+        .map_err(|e| format!("per-word run (instrumented={instrumented}): {e}"))
+}
+
 /// The generated-program oracle. Checks, for one program:
 ///
 /// 1. `parse(unparse(prog)) == prog` and unparsing is stable;
@@ -66,7 +73,11 @@ fn run(src: &str, instrumented: bool) -> Result<(Outcome, Interp), String> {
 ///    simulator counters;
 /// 3. interpreting the unparsed *instrumented text* through the plain
 ///    pipeline reproduces the traced run bit-for-bit: exit, stdout,
-///    stats, shadow-memory flags, and anti-pattern reports.
+///    stats, shadow-memory flags, and anti-pattern reports;
+/// 4. the machine's bulk fast path is invisible: the traced run repeated
+///    with `set_bulk_enabled(false)` (every range decomposed into the
+///    per-word scalar protocol) matches exit, stdout, stats, simulated
+///    time to the bit, shadow-memory flags, and reports.
 ///
 /// Returns a description of the first violated property.
 pub fn check_program(prog: &Program) -> Result<(), String> {
@@ -131,6 +142,42 @@ pub fn check_program(prog: &Program) -> Result<(), String> {
     if ra != rb {
         return Err(format!(
             "reports diverge:\n--- instrumented-text ---\n{ra}\n--- traced ---\n{rb}"
+        ));
+    }
+
+    // (4) The bulk fast path must be invisible: the same traced program
+    // with every range op decomposed per-word agrees bit-for-bit.
+    let (word_out, word) = run_per_word(&src, true)?;
+    if word_out.exit != traced_out.exit || word_out.stdout != traced_out.stdout {
+        return Err(format!(
+            "per-word run diverges from bulk run: exit {} vs {}\n\
+             --- per-word stdout ---\n{}\n--- bulk stdout ---\n{}",
+            word_out.exit, traced_out.exit, word_out.stdout, traced_out.stdout
+        ));
+    }
+    if word_out.stats != traced_out.stats {
+        return Err(format!(
+            "per-word stats diverge from bulk:\n--- per-word ---\n{}\n--- bulk ---\n{}",
+            word_out.stats.summary(),
+            traced_out.stats.summary()
+        ));
+    }
+    if word_out.elapsed_ns.to_bits() != traced_out.elapsed_ns.to_bits() {
+        return Err(format!(
+            "per-word simulated time diverges from bulk: {} vs {}",
+            word_out.elapsed_ns, traced_out.elapsed_ns
+        ));
+    }
+    let (dw, dt) = (shadow_digest(&word), shadow_digest(&traced));
+    if dw != dt {
+        return Err(format!(
+            "per-word shadow memory diverges from bulk:\n--- per-word ---\n{dw}\n--- bulk ---\n{dt}"
+        ));
+    }
+    let (rw, rt) = (reports_digest(&word), reports_digest(&traced));
+    if rw != rt {
+        return Err(format!(
+            "per-word reports diverge from bulk:\n--- per-word ---\n{rw}\n--- bulk ---\n{rt}"
         ));
     }
     Ok(())

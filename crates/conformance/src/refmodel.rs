@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use hetsim::{AllocKind, Device, Event, MemAdvise, TimedEvent};
+use hetsim::{AccessKind, AllocKind, Device, Event, MemAdvise, TimedEvent};
 
 /// Naive per-page state, mirroring the fields of
 /// `hetsim::unified::PageState` with open-coded containers.
@@ -350,6 +350,9 @@ pub struct LockstepHook {
     pub checked_accesses: u64,
     /// Number of events matched against model predictions.
     pub checked_events: u64,
+    /// Number of `on_access_range` callbacks cross-checked (0 on a
+    /// machine with the bulk fast path disabled).
+    pub checked_ranges: u64,
 }
 
 impl LockstepHook {
@@ -473,6 +476,64 @@ impl hetsim::MemHook for LockstepHook {
     fn on_read_write(&mut self, dev: Device, addr: u64, _size: u32) {
         // The machine services an RMW as a single write-intent access.
         self.on_access(dev, addr, true);
+    }
+
+    fn on_access_range(
+        &mut self,
+        dev: Device,
+        addr: u64,
+        elem_size: u32,
+        count: u64,
+        kind: AccessKind,
+    ) {
+        // Mirror the machine's bulk fast path: the driver resolved the
+        // range once per page (emitting fault-class events only for the
+        // first word of each page group), so all pending events belong to
+        // this one callback. Predict per page group, then compare the
+        // concatenated expectation against the whole buffer.
+        if count == 0 || elem_size == 0 {
+            return;
+        }
+        let write = kind.writes();
+        let ps = self.model.page_size;
+        let mut expected = Vec::new();
+        let mut i = 0u64;
+        while i < count {
+            let a = addr + i * u64::from(elem_size);
+            let page = a / ps;
+            let last_in_page = (page + 1) * ps - 1;
+            let k = ((last_in_page - a) / u64::from(elem_size) + 1).min(count - i);
+            if self.model.is_managed(a) {
+                self.checked_accesses += k;
+                let out = self.model.access(dev, page, write);
+                expected.extend(self.expected_events(dev, page, write, out));
+                if k > 1 {
+                    // Steady-state tail: after the first word, the page is
+                    // either a free local hit or one remote access per word.
+                    let st = self.model.page(page);
+                    if st.copies.contains(&dev) {
+                        // local — no events, no stats
+                    } else if st.mapped.contains(&dev) {
+                        self.model.stats.remote_accesses += k - 1;
+                    } else {
+                        self.diverge(format!(
+                            "range access {dev:?} page {page:#x}: tail words \
+                             neither local nor mapped in the model"
+                        ));
+                    }
+                }
+            }
+            i += k;
+        }
+        let got = std::mem::take(&mut self.pending);
+        self.checked_events += got.len() as u64;
+        self.checked_ranges += 1;
+        if got != expected {
+            self.diverge(format!(
+                "range access {dev:?} @{addr:#x} x{count} ({kind:?}): driver \
+                 emitted {got:?}, model expected {expected:?}"
+            ));
+        }
     }
 
     fn on_memcpy(&mut self, _dst: u64, _src: u64, _bytes: u64, _kind: hetsim::CopyKind) {

@@ -71,6 +71,37 @@ impl AccessFlags {
         self.0 |= bit;
     }
 
+    /// Whether a read by `dev` would change nothing: the read bit for
+    /// the current origin/reader pair is already set. Used by the bulk
+    /// tracer to skip spans whose flags are saturated.
+    #[inline]
+    pub fn read_saturated(self, dev: Device) -> bool {
+        let origin_gpu = self.get(Self::LAST_WRITER_GPU);
+        let bit = match (origin_gpu, dev) {
+            (false, Device::Cpu) => Self::R_CC,
+            (false, Device::Gpu(_)) => Self::R_CG,
+            (true, Device::Cpu) => Self::R_GC,
+            (true, Device::Gpu(_)) => Self::R_GG,
+        };
+        self.get(bit)
+    }
+
+    /// Whether a write by `dev` would change nothing: `dev`'s side wrote
+    /// before and is still the last writer.
+    #[inline]
+    pub fn write_saturated(self, dev: Device) -> bool {
+        match dev {
+            Device::Cpu => self.get(Self::CPU_WROTE) && !self.get(Self::LAST_WRITER_GPU),
+            Device::Gpu(_) => self.get(Self::GPU_WROTE) && self.get(Self::LAST_WRITER_GPU),
+        }
+    }
+
+    /// Whether a read-then-write by `dev` would change nothing.
+    #[inline]
+    pub fn rw_saturated(self, dev: Device) -> bool {
+        self.write_saturated(dev) && self.read_saturated(dev)
+    }
+
     /// Whether the word was accessed at all this epoch. The last-writer
     /// bit does not count: it may be carried over from an earlier epoch
     /// (see [`reset_epoch`](Self::reset_epoch)).

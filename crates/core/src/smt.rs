@@ -71,12 +71,13 @@ impl SmtEntry {
     }
 
     /// Shadow word index range `[first, last]` covered by an access of
-    /// `size` bytes at `addr` (clamped to the allocation).
+    /// `size` bytes at `addr` (clamped to the allocation). `size` is a
+    /// `u64` so multi-GiB `cudaMemcpy` spans are never truncated.
     #[inline]
-    pub fn word_span(&self, addr: Addr, size: u32) -> (usize, usize) {
+    pub fn word_span(&self, addr: Addr, size: u64) -> (usize, usize) {
         let off = addr - self.base;
         let first = (off / WORD_BYTES) as usize;
-        let last = ((off + size.max(1) as u64 - 1) / WORD_BYTES) as usize;
+        let last = ((off + size.max(1) - 1) / WORD_BYTES) as usize;
         (first, last.min(self.shadow.len().saturating_sub(1)))
     }
 
@@ -153,12 +154,20 @@ impl Smt {
     /// Mark the allocation at `base` freed; shadow is retained until
     /// [`purge_dead`](Self::purge_dead). Returns false if unknown.
     pub fn remove_defer(&mut self, base: Addr) -> bool {
-        match self.entries.iter_mut().find(|e| e.base == base && e.live) {
-            Some(e) => {
+        // The table is sorted by base (and bases are never reused), so
+        // binary-search instead of scanning linearly.
+        let pos = self.entries.partition_point(|e| e.base < base);
+        match self.entries.get_mut(pos) {
+            Some(e) if e.base == base && e.live => {
                 e.live = false;
+                // Drop the last-hit cache if it pointed at the deferred
+                // entry, so a stale hit cannot outlive the free.
+                if self.cache == pos {
+                    self.cache = usize::MAX;
+                }
                 true
             }
-            None => false,
+            _ => false,
         }
     }
 
@@ -302,6 +311,43 @@ mod tests {
         assert_eq!(e.word_span(0x1004, 8), (1, 2)); // 8-byte double: 2 words
         assert_eq!(e.word_span(0x1001, 1), (0, 0));
         assert_eq!(e.word_span(0x1002, 4), (0, 1)); // unaligned straddle
+    }
+
+    #[test]
+    fn word_span_handles_multi_gib_sizes() {
+        // A span larger than 4 GiB must clamp to the entry's last word,
+        // not wrap around a 32-bit truncation to a tiny span.
+        let mut t = Smt::new();
+        t.insert(0x1000, 64, AllocKind::Managed);
+        let e = t.lookup(0x1000).unwrap();
+        assert_eq!(e.word_span(0x1000, (1u64 << 32) + 4), (0, 15));
+        assert_eq!(e.word_span(0x1008, u64::MAX / 2), (2, 15));
+    }
+
+    #[test]
+    fn remove_defer_finds_first_middle_last_and_rejects_unknown() {
+        let mut t = table_with(5);
+        assert!(t.remove_defer(0x10_0000)); // first
+        assert!(t.remove_defer(0x10_2000)); // middle
+        assert!(t.remove_defer(0x10_4000)); // last
+        assert!(!t.remove_defer(0x10_0800)); // interior address, not a base
+        assert!(!t.remove_defer(0xdead_0000)); // unknown
+        t.purge_dead();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_defer_invalidates_last_hit_cache() {
+        let mut t = table_with(3);
+        // Warm the cache onto the middle entry, then defer-free it.
+        assert!(t.lookup_mut(0x10_1000).is_some());
+        assert!(t.remove_defer(0x10_1000));
+        // Lookups after the free still resolve correctly (the shadow is
+        // retained until purge, and neighbours are unaffected).
+        assert_eq!(t.lookup(0x10_1000 + 8).unwrap().base, 0x10_1000);
+        assert_eq!(t.lookup(0x10_2000).unwrap().base, 0x10_2000);
+        t.purge_dead();
+        assert!(t.lookup(0x10_1000).is_none());
     }
 
     #[test]

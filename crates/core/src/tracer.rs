@@ -6,9 +6,9 @@
 //! every allocation in the wrapped `cudaMalloc*`, every copy in the
 //! wrapped `cudaMemcpy`, every launch in the kernel-launch wrapper.
 
-use hetsim::{Addr, AllocKind, CopyKind, Device, MemHook};
+use hetsim::{AccessKind, Addr, AllocKind, CopyKind, Device, MemHook};
 
-use crate::smt::Smt;
+use crate::smt::{Smt, WORD_BYTES};
 
 /// A user-level object description, as produced by the expansion of the
 /// `#pragma xpl diagnostic` arguments (paper §III-B): target address,
@@ -68,7 +68,7 @@ impl Tracer {
             return;
         }
         if let Some(e) = self.smt.lookup_mut(addr) {
-            let (a, b) = e.word_span(addr, size);
+            let (a, b) = e.word_span(addr, u64::from(size));
             for w in &mut e.shadow[a..=b] {
                 w.record_read(dev);
             }
@@ -82,7 +82,7 @@ impl Tracer {
             return;
         }
         if let Some(e) = self.smt.lookup_mut(addr) {
-            let (a, b) = e.word_span(addr, size);
+            let (a, b) = e.word_span(addr, u64::from(size));
             for w in &mut e.shadow[a..=b] {
                 w.record_write(dev);
             }
@@ -97,11 +97,105 @@ impl Tracer {
             return;
         }
         if let Some(e) = self.smt.lookup_mut(addr) {
-            let (a, b) = e.word_span(addr, size);
+            let (a, b) = e.word_span(addr, u64::from(size));
             for w in &mut e.shadow[a..=b] {
                 w.record_read(dev);
                 w.record_write(dev);
             }
+        }
+    }
+
+    /// Vectorized `traceR` over `count` contiguous elements of
+    /// `elem_size` bytes: one SMT lookup for the whole range, one pass
+    /// over the word span, with an early exit when every word already
+    /// carries the read bit this access would set. Reads are idempotent
+    /// per word, so the single pass is bit-identical to `count`
+    /// individual `trace_r` calls.
+    pub fn trace_r_range(&mut self, dev: Device, addr: Addr, elem_size: u32, count: u64) {
+        if !self.enabled || count == 0 || elem_size == 0 {
+            return;
+        }
+        let bytes = u64::from(elem_size).saturating_mul(count);
+        let Some(e) = self.smt.lookup_mut(addr) else {
+            return;
+        };
+        if addr + bytes > e.base + e.size {
+            // Range spills past this allocation: fall back to per-element
+            // tracing so out-of-entry elements get the same "untracked ⇒
+            // ignored" treatment they would per word.
+            for i in 0..count {
+                self.trace_r(dev, addr + i * u64::from(elem_size), elem_size);
+            }
+            return;
+        }
+        let (a, b) = e.word_span(addr, bytes);
+        if e.shadow[a..=b].iter().all(|w| w.read_saturated(dev)) {
+            return;
+        }
+        for w in &mut e.shadow[a..=b] {
+            w.record_read(dev);
+        }
+    }
+
+    /// Vectorized `traceW`. Writes by one device are idempotent per
+    /// word, so a single pass is exact for any alignment.
+    pub fn trace_w_range(&mut self, dev: Device, addr: Addr, elem_size: u32, count: u64) {
+        if !self.enabled || count == 0 || elem_size == 0 {
+            return;
+        }
+        let bytes = u64::from(elem_size).saturating_mul(count);
+        let Some(e) = self.smt.lookup_mut(addr) else {
+            return;
+        };
+        if addr + bytes > e.base + e.size {
+            for i in 0..count {
+                self.trace_w(dev, addr + i * u64::from(elem_size), elem_size);
+            }
+            return;
+        }
+        let (a, b) = e.word_span(addr, bytes);
+        if e.shadow[a..=b].iter().all(|w| w.write_saturated(dev)) {
+            return;
+        }
+        for w in &mut e.shadow[a..=b] {
+            w.record_write(dev);
+        }
+    }
+
+    /// Vectorized `traceRW`. A read-modify-write is *not* idempotent
+    /// when two elements straddle one shadow word (the second element's
+    /// read sees the first element's write and records a same-device
+    /// read), so the single `record_read`+`record_write` pass is only
+    /// used when each word belongs to exactly one element — i.e. the
+    /// range is word-aligned with a word-multiple element size.
+    /// Unaligned ranges fall back to per-element tracing.
+    pub fn trace_rw_range(&mut self, dev: Device, addr: Addr, elem_size: u32, count: u64) {
+        if !self.enabled || count == 0 || elem_size == 0 {
+            return;
+        }
+        let bytes = u64::from(elem_size).saturating_mul(count);
+        let aligned =
+            addr.is_multiple_of(WORD_BYTES) && u64::from(elem_size).is_multiple_of(WORD_BYTES);
+        let fits = match self.smt.lookup_mut(addr) {
+            Some(e) => addr + bytes <= e.base + e.size,
+            None => return,
+        };
+        if !aligned || !fits {
+            for i in 0..count {
+                self.trace_rw(dev, addr + i * u64::from(elem_size), elem_size);
+            }
+            return;
+        }
+        let e = self.smt.lookup_mut(addr).expect("entry just found");
+        let (a, b) = e.word_span(addr, bytes);
+        // At saturation both the read and the write are no-ops, so the
+        // early exit is exact even though RMW mutates the origin.
+        if e.shadow[a..=b].iter().all(|w| w.rw_saturated(dev)) {
+            return;
+        }
+        for w in &mut e.shadow[a..=b] {
+            w.record_read(dev);
+            w.record_write(dev);
         }
     }
 
@@ -160,6 +254,21 @@ impl MemHook for Tracer {
         self.trace_rw(dev, addr, size);
     }
 
+    fn on_access_range(
+        &mut self,
+        dev: Device,
+        addr: Addr,
+        elem_size: u32,
+        count: u64,
+        kind: AccessKind,
+    ) {
+        match kind {
+            AccessKind::Read => self.trace_r_range(dev, addr, elem_size, count),
+            AccessKind::Write => self.trace_w_range(dev, addr, elem_size, count),
+            AccessKind::ReadWrite => self.trace_rw_range(dev, addr, elem_size, count),
+        }
+    }
+
     fn on_memcpy(&mut self, dst: Addr, src: Addr, bytes: u64, kind: CopyKind) {
         if !self.enabled || bytes == 0 {
             return;
@@ -170,7 +279,7 @@ impl MemHook for Tracer {
         match kind {
             CopyKind::HostToDevice => {
                 if let Some(e) = self.smt.lookup_mut(dst) {
-                    let (a, b) = e.word_span(dst, bytes as u32);
+                    let (a, b) = e.word_span(dst, bytes);
                     for w in &mut e.shadow[a..=b] {
                         w.record_write(Device::Cpu);
                     }
@@ -179,7 +288,7 @@ impl MemHook for Tracer {
             }
             CopyKind::DeviceToHost => {
                 if let Some(e) = self.smt.lookup_mut(src) {
-                    let (a, b) = e.word_span(src, bytes as u32);
+                    let (a, b) = e.word_span(src, bytes);
                     for w in &mut e.shadow[a..=b] {
                         w.record_read(Device::Cpu);
                     }
@@ -190,7 +299,7 @@ impl MemHook for Tracer {
                 // Same-side copies move no data across the interconnect;
                 // record plain access on both operands.
                 if let Some(e) = self.smt.lookup_mut(src) {
-                    let (a, b) = e.word_span(src, bytes as u32);
+                    let (a, b) = e.word_span(src, bytes);
                     let dev = if kind == CopyKind::HostToHost {
                         Device::Cpu
                     } else {
@@ -201,7 +310,7 @@ impl MemHook for Tracer {
                     }
                 }
                 if let Some(e) = self.smt.lookup_mut(dst) {
-                    let (a, b) = e.word_span(dst, bytes as u32);
+                    let (a, b) = e.word_span(dst, bytes);
                     let dev = if kind == CopyKind::HostToHost {
                         Device::Cpu
                     } else {
@@ -316,6 +425,133 @@ mod tests {
         let e = t.smt.lookup(base).unwrap();
         assert!(!e.shadow[0].touched());
         assert!(t.kernel_log.is_empty());
+    }
+
+    #[test]
+    fn memcpy_over_4_gib_is_not_truncated() {
+        // `bytes` ≥ 4 GiB used to be cast to u32 before word_span, so a
+        // (1<<32)+4 byte copy silently shadowed only the first word.
+        let mut t = Tracer::new();
+        t.on_alloc(0x10_0000, 64, AllocKind::Device(0));
+        t.on_alloc(0x20_0000, 64, AllocKind::Host);
+        let huge = (1u64 << 32) + 4;
+        t.on_memcpy(0x10_0000, 0x20_0000, huge, CopyKind::HostToDevice);
+        let e = t.smt.lookup(0x10_0000).unwrap();
+        // Clamped to the allocation: all 16 words written, not just one.
+        assert!(e.shadow[15].get(AccessFlags::CPU_WROTE));
+        assert_eq!(e.copied_in, vec![(0, huge)]);
+
+        t.on_memcpy(0x20_0000, 0x10_0000, huge, CopyKind::DeviceToHost);
+        let e = t.smt.lookup(0x10_0000).unwrap();
+        assert!(e.shadow[15].get(AccessFlags::R_CC));
+    }
+
+    /// Replays `ops` on two tracers — per-element on one, ranged on the
+    /// other — and asserts identical shadow bytes.
+    fn assert_range_equiv(size: u64, ops: &[(AccessKind, Device, u64, u32, u64)]) {
+        let (mut per, base) = tracer_with_alloc(size);
+        let (mut rng, _) = tracer_with_alloc(size);
+        for &(kind, dev, off, elem, count) in ops {
+            for i in 0..count {
+                let a = base + off + i * u64::from(elem);
+                match kind {
+                    AccessKind::Read => per.trace_r(dev, a, elem),
+                    AccessKind::Write => per.trace_w(dev, a, elem),
+                    AccessKind::ReadWrite => per.trace_rw(dev, a, elem),
+                }
+            }
+            match kind {
+                AccessKind::Read => rng.trace_r_range(dev, base + off, elem, count),
+                AccessKind::Write => rng.trace_w_range(dev, base + off, elem, count),
+                AccessKind::ReadWrite => rng.trace_rw_range(dev, base + off, elem, count),
+            }
+        }
+        let a: Vec<u8> = per
+            .smt
+            .lookup(base)
+            .unwrap()
+            .shadow
+            .iter()
+            .map(|f| f.0)
+            .collect();
+        let b: Vec<u8> = rng
+            .smt
+            .lookup(base)
+            .unwrap()
+            .shadow
+            .iter()
+            .map(|f| f.0)
+            .collect();
+        assert_eq!(a, b, "ops: {ops:?}");
+    }
+
+    #[test]
+    fn range_trace_matches_per_element() {
+        use AccessKind::*;
+        // Aligned word-multiple elements: the vectorized pass.
+        assert_range_equiv(
+            256,
+            &[(Write, Device::Cpu, 0, 4, 64), (Read, GPU, 0, 4, 64)],
+        );
+        assert_range_equiv(
+            256,
+            &[(Write, GPU, 16, 8, 20), (ReadWrite, Device::Cpu, 16, 8, 20)],
+        );
+        // Sub-word elements straddling shadow words (RMW falls back).
+        assert_range_equiv(64, &[(ReadWrite, GPU, 0, 2, 32)]);
+        assert_range_equiv(64, &[(Read, Device::Cpu, 1, 1, 63), (Write, GPU, 3, 2, 30)]);
+        // Unaligned base with word-multiple element.
+        assert_range_equiv(64, &[(ReadWrite, Device::Cpu, 2, 4, 15)]);
+        // Mixed devices over the same span: origin flips mid-history.
+        assert_range_equiv(
+            128,
+            &[
+                (Write, Device::Cpu, 0, 4, 32),
+                (ReadWrite, GPU, 0, 4, 32),
+                (Read, Device::Cpu, 0, 4, 32),
+                (Read, GPU, 64, 4, 16),
+            ],
+        );
+    }
+
+    #[test]
+    fn range_trace_is_idempotent_at_saturation() {
+        use AccessKind::*;
+        // Re-running a saturated range (early-exit path) must match two
+        // per-element passes exactly.
+        assert_range_equiv(
+            128,
+            &[
+                (Write, GPU, 0, 4, 32),
+                (Write, GPU, 0, 4, 32),
+                (Read, Device::Cpu, 0, 8, 16),
+                (Read, Device::Cpu, 0, 8, 16),
+                (ReadWrite, GPU, 0, 4, 32),
+                (ReadWrite, GPU, 0, 4, 32),
+            ],
+        );
+    }
+
+    #[test]
+    fn range_spilling_past_allocation_matches_per_element_clamp() {
+        // 64-byte alloc, range asks for 32 elements of 4 bytes starting
+        // at offset 32: the last 24 elements are untracked and ignored.
+        assert_range_equiv(64, &[(AccessKind::Write, Device::Cpu, 32, 4, 32)]);
+        assert_range_equiv(64, &[(AccessKind::ReadWrite, GPU, 32, 4, 32)]);
+    }
+
+    #[test]
+    fn hook_range_seam_dispatches_by_kind() {
+        let (mut t, base) = tracer_with_alloc(64);
+        t.on_access_range(Device::Cpu, base, 4, 4, AccessKind::Write);
+        t.on_access_range(GPU, base, 4, 4, AccessKind::Read);
+        t.on_access_range(GPU, base + 16, 4, 4, AccessKind::ReadWrite);
+        let e = t.smt.lookup(base).unwrap();
+        assert!(e.shadow[0].get(AccessFlags::CPU_WROTE));
+        assert!(e.shadow[3].get(AccessFlags::R_CG));
+        assert!(e.shadow[4].get(AccessFlags::GPU_WROTE));
+        assert!(e.shadow[4].get(AccessFlags::R_CC) || e.shadow[4].get(AccessFlags::R_CG));
+        assert!(!e.shadow[8].touched());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::event::TimedEvent;
-use crate::types::{Addr, AllocKind, CopyKind, Device};
+use crate::types::{AccessKind, Addr, AllocKind, CopyKind, Device};
 
 /// Observer of simulated memory events.
 pub trait MemHook {
@@ -32,6 +32,30 @@ pub trait MemHook {
     fn on_read_write(&mut self, dev: Device, addr: Addr, size: u32) {
         self.on_read(dev, addr, size);
         self.on_write(dev, addr, size);
+    }
+
+    /// A contiguous range access: `count` elements of `elem_size` bytes
+    /// starting at `addr`, all performed by `dev` with the same access
+    /// kind. This is the machine's bulk fast path (`read_range` and
+    /// friends); the default implementation decomposes into the per-word
+    /// callbacks above, so a hook that does not override it observes
+    /// exactly the sequence the per-word path would have delivered.
+    fn on_access_range(
+        &mut self,
+        dev: Device,
+        addr: Addr,
+        elem_size: u32,
+        count: u64,
+        kind: AccessKind,
+    ) {
+        for i in 0..count {
+            let a = addr + i * elem_size as u64;
+            match kind {
+                AccessKind::Read => self.on_read(dev, a, elem_size),
+                AccessKind::Write => self.on_write(dev, a, elem_size),
+                AccessKind::ReadWrite => self.on_read_write(dev, a, elem_size),
+            }
+        }
     }
 
     /// An explicit `cudaMemcpy`.
@@ -111,6 +135,21 @@ impl MemHook for FanoutHook {
     fn on_read_write(&mut self, dev: Device, addr: Addr, size: u32) {
         for h in &self.hooks {
             h.borrow_mut().on_read_write(dev, addr, size);
+        }
+    }
+    // Forwarded as one range call so inner hooks with a vectorized range
+    // handler (e.g. the tracer) keep their fast path through a fanout.
+    fn on_access_range(
+        &mut self,
+        dev: Device,
+        addr: Addr,
+        elem_size: u32,
+        count: u64,
+        kind: AccessKind,
+    ) {
+        for h in &self.hooks {
+            h.borrow_mut()
+                .on_access_range(dev, addr, elem_size, count, kind);
         }
     }
     fn on_memcpy(&mut self, dst: Addr, src: Addr, bytes: u64, kind: CopyKind) {
@@ -251,6 +290,53 @@ mod tests {
         });
         assert_eq!(a.borrow().len(), 1);
         assert_eq!(b.borrow().len(), 1);
+    }
+
+    #[test]
+    fn default_access_range_decomposes_per_element() {
+        let mut h = CountingHook::default();
+        h.on_access_range(Device::Cpu, 0x1000, 8, 5, AccessKind::Read);
+        h.on_access_range(Device::GPU0, 0x2000, 4, 3, AccessKind::Write);
+        h.on_access_range(Device::Cpu, 0x3000, 4, 2, AccessKind::ReadWrite);
+        assert_eq!((h.reads, h.writes, h.rmws), (5, 3, 2));
+    }
+
+    #[test]
+    fn fanout_forwards_access_range_as_one_call() {
+        // A hook that overrides on_access_range must see the single range
+        // call through a fanout, not the per-word decomposition.
+        #[derive(Default)]
+        struct RangeSpy {
+            ranges: Vec<(Device, Addr, u32, u64, AccessKind)>,
+            words: u64,
+        }
+        impl MemHook for RangeSpy {
+            fn on_alloc(&mut self, _: Addr, _: u64, _: AllocKind) {}
+            fn on_free(&mut self, _: Addr) {}
+            fn on_read(&mut self, _: Device, _: Addr, _: u32) {
+                self.words += 1;
+            }
+            fn on_write(&mut self, _: Device, _: Addr, _: u32) {
+                self.words += 1;
+            }
+            fn on_access_range(&mut self, dev: Device, addr: Addr, es: u32, n: u64, k: AccessKind) {
+                self.ranges.push((dev, addr, es, n, k));
+            }
+            fn on_memcpy(&mut self, _: Addr, _: Addr, _: u64, _: CopyKind) {}
+            fn on_kernel_launch(&mut self, _: &str) {}
+        }
+        let spy = Rc::new(RefCell::new(RangeSpy::default()));
+        let count = Rc::new(RefCell::new(CountingHook::default()));
+        let mut f = FanoutHook::from_hooks(vec![spy.clone(), count.clone()]);
+        f.on_access_range(Device::GPU0, 0x4000, 4, 7, AccessKind::Read);
+        let s = spy.borrow();
+        assert_eq!(
+            s.ranges,
+            vec![(Device::GPU0, 0x4000, 4, 7, AccessKind::Read)]
+        );
+        assert_eq!(s.words, 0);
+        // The non-overriding hook still sees the per-word decomposition.
+        assert_eq!(count.borrow().reads, 7);
     }
 
     #[test]

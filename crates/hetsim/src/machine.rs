@@ -17,7 +17,7 @@ use crate::gpumem::GpuMemory;
 use crate::hook::{FanoutHook, MemHook};
 use crate::platform::Platform;
 use crate::stats::Stats;
-use crate::types::{Addr, AllocKind, CopyKind, Device, MemAdvise, Scalar, TPtr};
+use crate::types::{AccessKind, Addr, AllocKind, CopyKind, Device, MemAdvise, Scalar, TPtr};
 use crate::unified::UmDriver;
 
 /// Bandwidth of copies that stay on one side (host↔host, device↔device),
@@ -63,6 +63,9 @@ pub struct Machine {
     /// of the kernel currently executing (0 on the host).
     launch_seq: u64,
     cur_seq: u64,
+    /// Whether range accesses take the bulk fast path (one driver
+    /// resolution per page) or decompose into the per-word protocol.
+    bulk: bool,
 }
 
 impl Machine {
@@ -88,8 +91,22 @@ impl Machine {
             cur_kernel: None,
             launch_seq: 0,
             cur_seq: 0,
+            bulk: true,
             pf: platform,
         }
+    }
+
+    /// Disable (or re-enable) the bulk fast path: with bulk off, the
+    /// range APIs decompose into the exact per-word scalar protocol.
+    /// This is the reference mode the conformance suite compares the
+    /// fast path against.
+    pub fn set_bulk_enabled(&mut self, on: bool) {
+        self.bulk = on;
+    }
+
+    /// Whether range accesses take the bulk fast path.
+    pub fn bulk_enabled(&self) -> bool {
+        self.bulk
     }
 
     /// The platform this node models.
@@ -510,24 +527,113 @@ impl Machine {
                 }
             }
         }
-        let word = match dev {
-            Device::Cpu => self.pf.cpu_word_ns,
-            Device::Gpu(_) => self.pf.gpu_word_ns,
-        };
-        match &mut self.mode {
-            ExecMode::Host => self.clock.advance(word + serial),
-            ExecMode::Kernel {
-                par_ns, serial_ns, ..
-            } => {
-                *par_ns += word;
-                *serial_ns += serial;
-            }
-        }
+        self.charge(self.word_ns(dev), serial);
         match (dev, write) {
             (Device::Cpu, false) => self.stats.cpu_reads += 1,
             (Device::Cpu, true) => self.stats.cpu_writes += 1,
             (Device::Gpu(_), false) => self.stats.gpu_reads += 1,
             (Device::Gpu(_), true) => self.stats.gpu_writes += 1,
+        }
+        Ok(())
+    }
+
+    /// Local word cost of one access by `dev`.
+    #[inline]
+    fn word_ns(&self, dev: Device) -> f64 {
+        match dev {
+            Device::Cpu => self.pf.cpu_word_ns,
+            Device::Gpu(_) => self.pf.gpu_word_ns,
+        }
+    }
+
+    /// Charge one word access: host mode advances the clock, kernel mode
+    /// accumulates into the parallel/serial buckets.
+    #[inline]
+    fn charge(&mut self, word_ns: f64, serial: f64) {
+        match &mut self.mode {
+            ExecMode::Host => self.clock.advance(word_ns + serial),
+            ExecMode::Kernel {
+                par_ns, serial_ns, ..
+            } => {
+                *par_ns += word_ns;
+                *serial_ns += serial;
+            }
+        }
+    }
+
+    /// Validate and account a contiguous range access of `count` elements
+    /// of `elem_size` bytes starting at `addr`, all by `dev` — the bulk
+    /// fast path. The UM driver is resolved once per page group instead
+    /// of once per word; per-word cost and stat accounting is replicated
+    /// exactly, so the range is indistinguishable from the per-word loop
+    /// in stats, simulated time, and emitted events.
+    fn pre_access_range(
+        &mut self,
+        dev: Device,
+        addr: Addr,
+        elem_size: u64,
+        count: u64,
+        write: bool,
+    ) -> SimResult<()> {
+        debug_assert!(count > 0 && elem_size > 0);
+        let a = self.mem.find_mut(addr, elem_size.saturating_mul(count))?;
+        let (kind, alloc_base) = (a.kind, a.base);
+        let word = self.word_ns(dev);
+        match kind {
+            AllocKind::Managed => {
+                let page_size = self.pf.page_size;
+                let mut i = 0u64;
+                while i < count {
+                    let a_i = addr + i * elem_size;
+                    let page = self.pf.page_of(a_i);
+                    // Elements whose *start* lands on this page form one
+                    // group: an element straddling the boundary is driven
+                    // by its first page, exactly as the per-word path.
+                    let last_in_page = (page + 1) * page_size - 1;
+                    let k = ((last_in_page - a_i) / elem_size + 1).min(count - i);
+                    let (out, tail_ns) = self.um.access_range(
+                        &self.pf,
+                        &mut self.gpus,
+                        &mut self.stats,
+                        dev,
+                        page,
+                        write,
+                        k,
+                    );
+                    if self.hook.is_some() {
+                        self.emit_access_events(dev, page, write, alloc_base, &out);
+                    }
+                    // Replicate the per-word charge sequence so simulated
+                    // time stays bit-identical to the scalar path.
+                    self.charge(word, out.serial_ns());
+                    for _ in 1..k {
+                        self.charge(word, tail_ns);
+                    }
+                    i += k;
+                }
+            }
+            AllocKind::Device(g) => {
+                if dev != Device::Gpu(g) {
+                    return Err(SimError::IllegalAccess { device: dev, addr });
+                }
+                for _ in 0..count {
+                    self.charge(word, 0.0);
+                }
+            }
+            AllocKind::Host => {
+                if dev != Device::Cpu {
+                    return Err(SimError::IllegalAccess { device: dev, addr });
+                }
+                for _ in 0..count {
+                    self.charge(word, 0.0);
+                }
+            }
+        }
+        match (dev, write) {
+            (Device::Cpu, false) => self.stats.cpu_reads += count,
+            (Device::Cpu, true) => self.stats.cpu_writes += count,
+            (Device::Gpu(_), false) => self.stats.gpu_reads += count,
+            (Device::Gpu(_), true) => self.stats.gpu_writes += count,
         }
         Ok(())
     }
@@ -684,6 +790,175 @@ impl Machine {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Bulk range accesses (the fast path)
+    // ------------------------------------------------------------------
+
+    /// Bulk read: `count` elements of `elem_size` bytes starting at
+    /// `addr`, on the current device. Accounting and hook notification
+    /// only — pair with the typed wrappers ([`ld_range`](Self::ld_range)
+    /// et al.) to also move data.
+    pub fn read_range(&mut self, addr: Addr, elem_size: u64, count: u64) -> SimResult<()> {
+        self.access_range(addr, elem_size, count, AccessKind::Read)
+    }
+
+    /// Bulk write counterpart of [`read_range`](Self::read_range).
+    pub fn write_range(&mut self, addr: Addr, elem_size: u64, count: u64) -> SimResult<()> {
+        self.access_range(addr, elem_size, count, AccessKind::Write)
+    }
+
+    /// Bulk read-modify-write counterpart of
+    /// [`read_range`](Self::read_range): each element is charged like one
+    /// [`try_rmw_scalar`](Self::try_rmw_scalar).
+    pub fn rw_range(&mut self, addr: Addr, elem_size: u64, count: u64) -> SimResult<()> {
+        self.access_range(addr, elem_size, count, AccessKind::ReadWrite)
+    }
+
+    /// Shared entry point of the range APIs. With bulk enabled (the
+    /// default) the UM driver is resolved once per page and the hook
+    /// sees one `on_access_range`; with bulk disabled the range
+    /// decomposes into the exact per-word scalar protocol.
+    pub fn access_range(
+        &mut self,
+        addr: Addr,
+        elem_size: u64,
+        count: u64,
+        kind: AccessKind,
+    ) -> SimResult<()> {
+        if count == 0 || elem_size == 0 {
+            return Ok(());
+        }
+        let dev = self.cur_dev();
+        if !self.bulk {
+            return self.access_range_per_word(dev, addr, elem_size, count, kind);
+        }
+        self.pre_access_range(dev, addr, elem_size, count, kind.writes())?;
+        if kind == AccessKind::ReadWrite {
+            // The read half of a RMW is a stat, not an extra word charge
+            // (matching try_rmw_scalar).
+            match dev {
+                Device::Cpu => self.stats.cpu_reads += count,
+                Device::Gpu(_) => self.stats.gpu_reads += count,
+            }
+        }
+        if let Some(h) = &self.hook {
+            h.borrow_mut()
+                .on_access_range(dev, addr, elem_size as u32, count, kind);
+        }
+        Ok(())
+    }
+
+    /// Reference decomposition of a range access into the per-word
+    /// scalar protocol, byte-for-byte identical to an element-by-element
+    /// `ld`/`st`/`rmw` loop. The conformance suite runs workloads both
+    /// ways and asserts equality.
+    fn access_range_per_word(
+        &mut self,
+        dev: Device,
+        addr: Addr,
+        elem_size: u64,
+        count: u64,
+        kind: AccessKind,
+    ) -> SimResult<()> {
+        for i in 0..count {
+            let a = addr + i * elem_size;
+            self.pre_access(dev, a, elem_size, kind.writes())?;
+            if kind == AccessKind::ReadWrite {
+                match dev {
+                    Device::Cpu => self.stats.cpu_reads += 1,
+                    Device::Gpu(_) => self.stats.gpu_reads += 1,
+                }
+            }
+            if let Some(h) = &self.hook {
+                let mut h = h.borrow_mut();
+                match kind {
+                    AccessKind::Read => h.on_read(dev, a, elem_size as u32),
+                    AccessKind::Write => h.on_write(dev, a, elem_size as u32),
+                    AccessKind::ReadWrite => h.on_read_write(dev, a, elem_size as u32),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Load `count` consecutive elements of `p` starting at index
+    /// `start` — the bulk counterpart of [`ld`](Self::ld).
+    pub fn ld_range<T: Scalar>(&mut self, p: TPtr<T>, start: usize, count: usize) -> Vec<T> {
+        if count == 0 {
+            return Vec::new();
+        }
+        if let Err(e) = self.read_range(p.at(start), T::SIZE as u64, count as u64) {
+            panic!("ld_range {p:?}[{start}..{}]: {e}", start + count);
+        }
+        let mut buf = vec![0u8; count * T::SIZE];
+        self.mem
+            .read_bytes(p.at(start), &mut buf)
+            .expect("ld_range read");
+        buf.chunks_exact(T::SIZE).map(T::load_le).collect()
+    }
+
+    /// Store `vals` into consecutive elements of `p` starting at index
+    /// `start` — the bulk counterpart of [`st`](Self::st).
+    pub fn st_range<T: Scalar>(&mut self, p: TPtr<T>, start: usize, vals: &[T]) {
+        if vals.is_empty() {
+            return;
+        }
+        if let Err(e) = self.write_range(p.at(start), T::SIZE as u64, vals.len() as u64) {
+            panic!("st_range {p:?}[{start}..{}]: {e}", start + vals.len());
+        }
+        let mut buf = vec![0u8; vals.len() * T::SIZE];
+        for (chunk, v) in buf.chunks_exact_mut(T::SIZE).zip(vals) {
+            v.store_le(chunk);
+        }
+        self.mem
+            .write_bytes(p.at(start), &buf)
+            .expect("st_range write");
+    }
+
+    /// Store `v` into `count` consecutive elements of `p` starting at
+    /// index `start` (a bulk memset-style sweep).
+    pub fn fill<T: Scalar>(&mut self, p: TPtr<T>, start: usize, count: usize, v: T) {
+        if count == 0 {
+            return;
+        }
+        if let Err(e) = self.write_range(p.at(start), T::SIZE as u64, count as u64) {
+            panic!("fill {p:?}[{start}..{}]: {e}", start + count);
+        }
+        let mut buf = vec![0u8; count * T::SIZE];
+        for chunk in buf.chunks_exact_mut(T::SIZE) {
+            v.store_le(chunk);
+        }
+        self.mem.write_bytes(p.at(start), &buf).expect("fill write");
+    }
+
+    /// Read-modify-write `count` consecutive elements of `p` starting at
+    /// index `start`; `f` maps (element index, old value) to the new
+    /// value — the bulk counterpart of [`rmw`](Self::rmw).
+    pub fn rmw_range<T: Scalar>(
+        &mut self,
+        p: TPtr<T>,
+        start: usize,
+        count: usize,
+        mut f: impl FnMut(usize, T) -> T,
+    ) {
+        if count == 0 {
+            return;
+        }
+        if let Err(e) = self.rw_range(p.at(start), T::SIZE as u64, count as u64) {
+            panic!("rmw_range {p:?}[{start}..{}]: {e}", start + count);
+        }
+        let mut buf = vec![0u8; count * T::SIZE];
+        self.mem
+            .read_bytes(p.at(start), &mut buf)
+            .expect("rmw_range read");
+        for (i, chunk) in buf.chunks_exact_mut(T::SIZE).enumerate() {
+            f(start + i, T::load_le(chunk)).store_le(chunk);
+        }
+        self.mem
+            .write_bytes(p.at(start), &buf)
+            .expect("rmw_range write");
+    }
+
     /// Account `ops` arithmetic operations on the current device.
     #[inline]
     pub fn compute(&mut self, ops: u64) {
@@ -708,6 +983,19 @@ impl Machine {
             .read_bytes(p.at(i), &mut buf[..T::SIZE])
             .expect("peek failed");
         T::load_le(&buf[..T::SIZE])
+    }
+
+    /// Byte-level [`peek`](Self::peek): fill `out` from backing memory
+    /// without costing, tracing, or paging. Pair with the `*_range`
+    /// accounting APIs when moving data for an already-charged range.
+    pub fn peek_bytes(&mut self, addr: Addr, out: &mut [u8]) -> SimResult<()> {
+        self.mem.read_bytes(addr, out)
+    }
+
+    /// Byte-level [`poke`](Self::poke): write `src` to backing memory
+    /// without costing, tracing, or paging.
+    pub fn poke_bytes(&mut self, addr: Addr, src: &[u8]) -> SimResult<()> {
+        self.mem.write_bytes(addr, src)
     }
 
     /// Write backing bytes without costing, tracing, or paging.
@@ -1314,6 +1602,104 @@ mod tests {
             ),
             Err(SimError::AdviseOnUnmanaged { .. })
         ));
+    }
+
+    #[test]
+    fn bulk_range_matches_per_word_loop_exactly() {
+        // Drive the same mixed host/kernel program through the bulk APIs
+        // and the per-word reference decomposition: stats, elapsed time,
+        // counted hook callbacks, and loaded data must all be identical.
+        fn run(bulk: bool) -> (Stats, f64, CountingHook, Vec<f64>) {
+            let mut m = Machine::new(intel_pascal());
+            m.set_bulk_enabled(bulk);
+            let h = Rc::new(RefCell::new(CountingHook::default()));
+            m.attach_hook(h.clone());
+            // Big enough to span several pages.
+            let n = 3000;
+            let p = m.alloc_managed::<f64>(n);
+            let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            m.st_range(p, 0, &vals); // CPU writes (first touch)
+            m.launch("sweep", 1, |_, m| {
+                let _ = m.ld_range(p, 0, n); // GPU reads: faults + migrations
+                m.fill(p, 100, 1000, 7.0); // GPU writes, offset into the array
+            });
+            m.rmw_range(p, 0, n, |i, v: f64| v + i as f64); // CPU RMW: pulls pages back
+            let got = m.ld_range(p, 5, 64);
+            let elapsed = m.elapsed_ns();
+            let counts = h.borrow().clone();
+            (m.stats.clone(), elapsed, counts, got)
+        }
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast.0, slow.0, "stats must match");
+        assert_eq!(fast.1, slow.1, "simulated time must match bit-exactly");
+        assert_eq!(fast.2, slow.2, "hook callback totals must match");
+        assert_eq!(fast.3, slow.3, "loaded data must match");
+    }
+
+    #[test]
+    fn bulk_range_matches_scalar_loop_on_unmanaged_memory() {
+        fn run(bulk: bool) -> (Stats, f64) {
+            let mut m = Machine::new(intel_pascal());
+            m.set_bulk_enabled(bulk);
+            let h = m.alloc_host::<i32>(256);
+            let d = m.alloc_device::<i32>(256);
+            m.fill(h, 0, 256, 3);
+            m.launch("k", 1, |_, m| {
+                m.fill(d, 0, 256, 4);
+                let _ = m.ld_range(d, 0, 256);
+            });
+            (m.stats.clone(), m.elapsed_ns())
+        }
+        assert_eq!(run(true), run(false));
+        // And the bulk path agrees with a hand-written scalar loop.
+        let mut m = Machine::new(intel_pascal());
+        let h = m.alloc_host::<i32>(256);
+        for i in 0..256 {
+            m.st(h, i, 3);
+        }
+        let scalar = (m.stats.clone(), m.elapsed_ns());
+        let mut m = Machine::new(intel_pascal());
+        let h = m.alloc_host::<i32>(256);
+        m.fill(h, 0, 256, 3);
+        assert_eq!((m.stats.clone(), m.elapsed_ns()), scalar);
+    }
+
+    #[test]
+    fn bulk_range_rejects_out_of_bounds_and_wrong_device() {
+        let mut m = m();
+        let p = m.alloc_managed::<f64>(8);
+        assert!(m.read_range(p.addr, 8, 9).is_err(), "range past the end");
+        assert!(m.read_range(p.addr, 8, 0).is_ok(), "empty range is a no-op");
+        let d = m.alloc_device::<f64>(8);
+        assert!(matches!(
+            m.read_range(d.addr, 8, 4),
+            Err(SimError::IllegalAccess { .. })
+        ));
+        assert_eq!(m.stats.cpu_reads, 0, "failed ranges charge nothing");
+    }
+
+    #[test]
+    fn bulk_range_emits_same_events_as_per_word() {
+        use crate::event::EventLog;
+        fn run(bulk: bool) -> Vec<(String, f64)> {
+            let mut m = Machine::new(intel_pascal());
+            m.set_bulk_enabled(bulk);
+            let log = Rc::new(RefCell::new(EventLog::new()));
+            m.attach_hook(log.clone());
+            let n = 2048;
+            let p = m.alloc_managed::<f64>(n);
+            m.st_range(p, 0, &vec![1.0; n]);
+            m.launch("k", 1, |_, m| {
+                let _ = m.ld_range(p, 0, n);
+            });
+            let _ = m.ld_range(p, 0, n); // CPU pulls the pages back
+            let log = log.borrow();
+            log.events()
+                .map(|e| (e.event.kind_name().to_string(), e.t_ns))
+                .collect()
+        }
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -371,6 +371,40 @@ impl UmDriver {
         out
     }
 
+    /// Handle `words` consecutive word accesses by `dev` to the same
+    /// managed `page` — the bulk fast path. The first word goes through
+    /// [`UmDriver::access`] in full; after it the page is in a steady
+    /// state for this device (a free local hit, or a remote access over
+    /// the mapping the first word established), so the whole tail is
+    /// resolved here in O(1) instead of re-probing the page map per
+    /// word. Returns the first word's outcome plus the serial cost of
+    /// *each* tail word (0 for local hits, `remote_word_ns` for remote
+    /// mappings); tail stats are already applied.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_range(
+        &mut self,
+        pf: &Platform,
+        gpus: &mut [GpuMemory],
+        stats: &mut Stats,
+        dev: Device,
+        page: u64,
+        write: bool,
+        words: u64,
+    ) -> (AccessOutcome, f64) {
+        let out = self.access(pf, gpus, stats, dev, page, write);
+        if words <= 1 {
+            return (out, 0.0);
+        }
+        let st = self.state(page);
+        if st.copies.contains(dev) {
+            (out, 0.0)
+        } else {
+            debug_assert!(st.mapped.contains(dev), "steady state is local or mapped");
+            stats.remote_accesses += words - 1;
+            (out, pf.remote_word_ns)
+        }
+    }
+
     /// Invalidate all copies of page `i` other than `keeper`'s. Returns
     /// the serial cost and the number of copies invalidated.
     fn invalidate_others(
@@ -773,6 +807,47 @@ mod tests {
         assert_eq!(o.writeback_pages, 1);
         assert_eq!(o.evicted_bytes, f.pf.page_size, "dirty page written back");
         assert!(o.evict_writeback_ns > 0.0);
+    }
+
+    #[test]
+    fn access_range_matches_per_word_loop() {
+        // The bulk entry point must leave stats and total serial cost
+        // exactly where the per-word loop would, across migration,
+        // remote-mapping, and read-duplication steady states.
+        let scenarios: &[fn(&mut Fixture)] = &[
+            |_| {},
+            |f| {
+                let (base, sz) = (f.base, f.pf.page_size);
+                f.drv
+                    .advise(base, sz, MemAdvise::SetPreferredLocation(Device::Cpu));
+                f.access(Device::Cpu, f.page(0), true);
+            },
+            |f| {
+                let (base, sz) = (f.base, f.pf.page_size);
+                f.drv.advise(base, sz, MemAdvise::SetReadMostly);
+                f.access(Device::Cpu, f.page(0), false);
+            },
+        ];
+        for (dev, write) in [(GPU, false), (GPU, true), (Device::Cpu, false)] {
+            for setup in scenarios {
+                let mut a = fixture();
+                setup(&mut a);
+                let mut b = fixture();
+                setup(&mut b);
+                let p = a.page(0);
+                let words = 9u64;
+                let mut serial_a = 0.0;
+                for _ in 0..words {
+                    serial_a += a.access(dev, p, write).serial_ns();
+                }
+                let (out, tail) =
+                    b.drv
+                        .access_range(&b.pf, &mut b.gpus, &mut b.stats, dev, p, write, words);
+                let serial_b = out.serial_ns() + tail * (words - 1) as f64;
+                assert_eq!(a.stats, b.stats);
+                assert_eq!(serial_a, serial_b);
+            }
+        }
     }
 
     #[test]

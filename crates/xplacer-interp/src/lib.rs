@@ -392,6 +392,9 @@ impl Interp {
                 step,
                 body,
             } => {
+                if let Some(flow) = self.try_for_sweep(init, cond, step, body)? {
+                    return Ok(flow);
+                }
                 self.frames.last_mut().unwrap().scopes.push(HashMap::new());
                 let run = (|| -> RResult<Flow> {
                     if let Some(i) = init {
@@ -420,6 +423,242 @@ impl Interp {
             }
             Stmt::Pragma(_) => Ok(Flow::Normal(Value::Void)), // inert at runtime
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Array-sweep fast path
+    // ------------------------------------------------------------------
+
+    /// Recognize `for (i = a; i < n; i++)` loops whose body is a single
+    /// constant fill (`p[i] = c;`) or additive reduction (`acc += p[i];`
+    /// / `acc = acc + p[i];`, possibly `trace*`-wrapped by the
+    /// instrumentation pass) over a scalar-typed heap array, and execute
+    /// them through the machine's bulk range APIs — one UM-driver
+    /// resolution per page instead of one per element — plus one
+    /// vectorized tracer call when instrumented. Returns `None` (and has
+    /// no side effects) whenever the loop doesn't match or the range
+    /// would fault, so the generic loop reproduces errors and partial
+    /// effects exactly; the conformance suite runs programs with bulk
+    /// disabled to check the two paths agree bit-for-bit.
+    fn try_for_sweep(
+        &mut self,
+        init: &Option<Box<Stmt>>,
+        cond: &Option<Expr>,
+        step: &Option<Expr>,
+        body: &[Stmt],
+    ) -> RResult<Option<Flow>> {
+        if !self.machine.bulk_enabled() {
+            return Ok(None);
+        }
+        // init: `int i = <lit>` (loop-scoped) or `i = <lit>` (existing).
+        let (var, start, declared) = match init.as_deref() {
+            Some(Stmt::Decl(d)) if matches!(d.ty, Type::Int | Type::SizeT) => {
+                match d.init.as_ref().and_then(const_int) {
+                    Some(v) => (d.name.clone(), v, true),
+                    None => return Ok(None),
+                }
+            }
+            Some(Stmt::Expr(Expr::Assign(AssignOp::Set, lhs, rhs))) => {
+                match (&**lhs, const_int(rhs)) {
+                    (Expr::Ident(n), Some(v)) => (n.clone(), v, false),
+                    _ => return Ok(None),
+                }
+            }
+            _ => return Ok(None),
+        };
+        if !declared && self.lookup_var(&var).is_none() {
+            return Ok(None);
+        }
+        // cond: `i < n` with n a literal or an int variable the body
+        // cannot touch (the body only writes `p[i]` or `acc`).
+        let is_var = |e: &Expr| matches!(e, Expr::Ident(n) if *n == var);
+        let mut limit_name = None;
+        let limit = match cond {
+            Some(Expr::Binary(BinOp::Lt, a, b)) if is_var(a) => match &**b {
+                Expr::IntLit(v) => *v,
+                Expr::Ident(m) if *m != var => match self.lookup_var(m) {
+                    Some((_, Value::Int(v))) => {
+                        limit_name = Some(m.clone());
+                        v
+                    }
+                    _ => return Ok(None),
+                },
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        // step: `i++` / `++i` / `i += 1` / `i = i + 1`.
+        let step_ok = match step {
+            Some(Expr::Postfix(PostOp::Inc, b)) => is_var(b),
+            Some(Expr::Unary(UnOp::PreInc, b)) => is_var(b),
+            Some(Expr::Assign(AssignOp::Add, lhs, rhs)) => {
+                is_var(lhs) && matches!(&**rhs, Expr::IntLit(1))
+            }
+            Some(Expr::Assign(AssignOp::Set, lhs, rhs)) => {
+                is_var(lhs)
+                    && matches!(&**rhs, Expr::Binary(BinOp::Add, a, b)
+                        if is_var(a) && matches!(&**b, Expr::IntLit(1)))
+            }
+            _ => false,
+        };
+        if !step_ok {
+            return Ok(None);
+        }
+        // Body: exactly one of the two sweep shapes.
+        let [Stmt::Expr(e)] = body else {
+            return Ok(None);
+        };
+        // `p[i]`, optionally wrapped in a specific trace call.
+        let indexed = |e: &Expr, wrapper: &str| -> Option<(String, bool)> {
+            let (inner, traced) = match e {
+                Expr::Call(n, args) if n == wrapper && args.len() == 1 => (&args[0], true),
+                other => (other, false),
+            };
+            match inner {
+                Expr::Index(b, i) if is_var(i) => match &**b {
+                    Expr::Ident(arr) if *arr != var => Some((arr.clone(), traced)),
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        enum Sweep {
+            Fill {
+                arr: String,
+                traced: bool,
+                val: Value,
+            },
+            Reduce {
+                acc: String,
+                arr: String,
+                traced: bool,
+            },
+        }
+        let sweep = match e {
+            // `p[i] = <const>` — also matches compound `acc += p[i]`
+            // spelled as AssignOp::Add below.
+            Expr::Assign(AssignOp::Set, lhs, rhs) => {
+                if let Some((arr, traced)) = indexed(lhs, "traceW") {
+                    match const_num(rhs) {
+                        Some(val) => Sweep::Fill { arr, traced, val },
+                        None => return Ok(None),
+                    }
+                } else if let (Expr::Ident(acc), Expr::Binary(BinOp::Add, a, b)) = (&**lhs, &**rhs)
+                {
+                    // `acc = acc + p[i]`
+                    match (&**a, indexed(b, "traceR")) {
+                        (Expr::Ident(n), Some((arr, traced)))
+                            if n == acc && *acc != var && arr != *acc =>
+                        {
+                            Sweep::Reduce {
+                                acc: acc.clone(),
+                                arr,
+                                traced,
+                            }
+                        }
+                        _ => return Ok(None),
+                    }
+                } else {
+                    return Ok(None);
+                }
+            }
+            // `acc += p[i]`
+            Expr::Assign(AssignOp::Add, lhs, rhs) => match (&**lhs, indexed(rhs, "traceR")) {
+                (Expr::Ident(acc), Some((arr, traced))) if *acc != var && arr != *acc => {
+                    Sweep::Reduce {
+                        acc: acc.clone(),
+                        arr,
+                        traced,
+                    }
+                }
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        // A reduction whose bound variable IS the accumulator re-reads
+        // the changing bound each iteration; only the generic loop can
+        // model that.
+        if let (Sweep::Reduce { acc, .. }, Some(m)) = (&sweep, &limit_name) {
+            if acc == m {
+                return Ok(None);
+            }
+        }
+        // The array must be a typed scalar heap pointer.
+        let arr_name = match &sweep {
+            Sweep::Fill { arr, .. } | Sweep::Reduce { arr, .. } => arr.clone(),
+        };
+        let Some((_, Value::Ptr(PtrVal::Heap { addr, ty }))) = self.lookup_var(&arr_name) else {
+            return Ok(None);
+        };
+        if !matches!(
+            ty,
+            Type::Int | Type::Float | Type::Double | Type::Char | Type::SizeT
+        ) {
+            return Ok(None);
+        }
+        if start < 0 || limit > i64::MAX / size_of(&self.prog, &ty).max(1) as i64 {
+            return Ok(None);
+        }
+        let sz = size_of(&self.prog, &ty) as u64;
+        let count = limit.saturating_sub(start).max(0) as u64;
+        let addr0 = addr + start as u64 * sz;
+        let dev = self.cur_dev();
+
+        match sweep {
+            Sweep::Fill { traced, val, .. } => {
+                if count > 0 {
+                    // An out-of-range or wrong-device range charges
+                    // nothing; let the generic loop reproduce the exact
+                    // partial effects and error.
+                    if self.machine.write_range(addr0, sz, count).is_err() {
+                        return Ok(None);
+                    }
+                    let mut buf = vec![0u8; (sz * count) as usize];
+                    for chunk in buf.chunks_exact_mut(sz as usize) {
+                        encode_scalar(&ty, &val, chunk)?;
+                    }
+                    self.machine.poke_bytes(addr0, &buf)?;
+                    if traced {
+                        self.tracer.trace_w_range(dev, addr0, sz as u32, count);
+                    }
+                }
+            }
+            Sweep::Reduce { acc, traced, .. } => {
+                let Some((acc_frame, acc_val)) = self.lookup_var(&acc) else {
+                    return Ok(None);
+                };
+                // Restrict to numeric accumulators so the fold below can
+                // never fail after the machine has been charged.
+                if !matches!(acc_val, Value::Int(_) | Value::Double(_)) {
+                    return Ok(None);
+                }
+                if count > 0 {
+                    if self.machine.read_range(addr0, sz, count).is_err() {
+                        return Ok(None);
+                    }
+                    let mut buf = vec![0u8; (sz * count) as usize];
+                    self.machine.peek_bytes(addr0, &mut buf)?;
+                    let mut acc_val = acc_val;
+                    for chunk in buf.chunks_exact(sz as usize) {
+                        acc_val = self.binop(BinOp::Add, acc_val, decode_scalar(&ty, chunk))?;
+                    }
+                    self.set_var(acc_frame, &acc, acc_val)?;
+                    if traced {
+                        self.tracer.trace_r_range(dev, addr0, sz as u32, count);
+                    }
+                }
+            }
+        }
+        // The loop variable ends at the first value failing the
+        // condition; a declared variable is loop-scoped and vanishes.
+        if !declared {
+            self.set_var(
+                self.lookup_var(&var).expect("checked above").0,
+                &var,
+                Value::Int(limit.max(start)),
+            )?;
+        }
+        Ok(Some(Flow::Normal(Value::Void)))
     }
 
     // ------------------------------------------------------------------
@@ -1194,6 +1433,58 @@ impl Interp {
 // ----------------------------------------------------------------------
 // Helpers
 // ----------------------------------------------------------------------
+
+/// A compile-time integer (possibly negated literal), or `None`.
+fn const_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::IntLit(v) => Some(*v),
+        Expr::Unary(UnOp::Neg, b) => match &**b {
+            Expr::IntLit(v) => Some(-*v),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// A compile-time numeric literal as a runtime value, or `None`.
+fn const_num(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::IntLit(v) => Some(Value::Int(*v)),
+        Expr::FloatLit(v) => Some(Value::Double(*v)),
+        Expr::Unary(UnOp::Neg, b) => match &**b {
+            Expr::IntLit(v) => Some(Value::Int(-*v)),
+            Expr::FloatLit(v) => Some(Value::Double(-*v)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Encode `v` into `out` exactly as [`Interp::store`] would for an
+/// element of type `ty`.
+fn encode_scalar(ty: &Type, v: &Value, out: &mut [u8]) -> RResult<()> {
+    match ty {
+        Type::Int => out.copy_from_slice(&(v.as_int()? as i32).to_le_bytes()),
+        Type::Float => out.copy_from_slice(&(v.as_double()? as f32).to_le_bytes()),
+        Type::Double => out.copy_from_slice(&v.as_double()?.to_le_bytes()),
+        Type::Char => out.copy_from_slice(&[v.as_int()? as u8]),
+        Type::SizeT => out.copy_from_slice(&(v.as_int()? as u64).to_le_bytes()),
+        other => return err(format!("cannot bulk-store {other}")),
+    }
+    Ok(())
+}
+
+/// Decode one element exactly as [`Interp::load`] would for type `ty`.
+fn decode_scalar(ty: &Type, chunk: &[u8]) -> Value {
+    match ty {
+        Type::Int => Value::Int(i32::from_le_bytes(chunk.try_into().unwrap()) as i64),
+        Type::Float => Value::Double(f32::from_le_bytes(chunk.try_into().unwrap()) as f64),
+        Type::Double => Value::Double(f64::from_le_bytes(chunk.try_into().unwrap())),
+        Type::Char => Value::Int(chunk[0] as i64),
+        Type::SizeT => Value::Int(u64::from_le_bytes(chunk.try_into().unwrap()) as i64),
+        _ => unreachable!("scalar types are checked before engaging the sweep"),
+    }
+}
 
 fn ptr_addr(p: &PtrVal) -> u64 {
     match p {

@@ -407,3 +407,195 @@ fn simulated_time_advances() {
     "#);
     assert!(out.elapsed_ns > 0.0);
 }
+
+// ----------------------------------------------------------------------
+// Array-sweep fast path (bulk range APIs)
+// ----------------------------------------------------------------------
+
+/// Run `src` twice — bulk fast path on (default) and off — in both plain
+/// and instrumented modes, and require identical exit, stdout, stats,
+/// simulated time, and shadow memory.
+fn assert_bulk_equiv(src: &str) {
+    for instrumented in [false, true] {
+        let bulk = run_source(src, intel_pascal(), instrumented)
+            .unwrap_or_else(|e| panic!("bulk (instr={instrumented}): {e}"));
+        let mut m = hetsim::Machine::new(intel_pascal());
+        m.set_bulk_enabled(false);
+        let word = run_source_on(src, m, instrumented)
+            .unwrap_or_else(|e| panic!("per-word (instr={instrumented}): {e}"));
+        assert_eq!(bulk.0.exit, word.0.exit, "exit (instr={instrumented})");
+        assert_eq!(
+            bulk.0.stdout, word.0.stdout,
+            "stdout (instr={instrumented})"
+        );
+        assert_eq!(bulk.0.stats, word.0.stats, "stats (instr={instrumented})");
+        assert_eq!(
+            bulk.0.elapsed_ns.to_bits(),
+            word.0.elapsed_ns.to_bits(),
+            "elapsed not bit-identical (instr={instrumented})"
+        );
+        let dig = |i: &Interp| {
+            i.tracer
+                .smt
+                .iter()
+                .map(|e| {
+                    let bytes: String = e.shadow.iter().map(|f| format!("{:02x}", f.0)).collect();
+                    format!("{:#x}+{} {bytes}", e.base, e.size)
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(dig(&bulk.1), dig(&word.1), "shadow (instr={instrumented})");
+    }
+}
+
+#[test]
+fn sweep_fill_and_reduce_match_per_word() {
+    assert_bulk_equiv(
+        r#"
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 512 * sizeof(double));
+            for (int i = 0; i < 512; i++) { p[i] = 3.0; }
+            double s = 0.0;
+            for (int i = 0; i < 512; i++) { s = s + p[i]; }
+            int* q;
+            q = (int*)malloc(100 * sizeof(int));
+            for (int i = 0; i < 100; i++) { q[i] = -7; }
+            int t = 0;
+            for (int i = 0; i < 100; i++) { t += q[i]; }
+            printf("%g %d\n", s, t);
+            return t + 700;
+        }
+    "#,
+    );
+}
+
+#[test]
+fn sweep_inside_kernel_matches_per_word() {
+    assert_bulk_equiv(
+        r#"
+        __global__ void fillrows(double* p, int n) {
+            for (int i = 0; i < n; i++) { p[i] = 2.5; }
+        }
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 256 * sizeof(double));
+            fillrows<<<1, 4>>>(p, 256);
+            double s = 0.0;
+            for (int i = 0; i < 256; i++) { s = s + p[i]; }
+            printf("%g\n", s);
+            return 0;
+        }
+    "#,
+    );
+}
+
+#[test]
+fn sweep_fast_path_engages_and_non_sweeps_fall_back() {
+    // Variable bound, assignment-style init, existing loop variable.
+    assert_bulk_equiv(
+        r#"
+        int main() {
+            int n = 64;
+            int i;
+            int* p;
+            cudaMallocManaged((void**)&p, 64 * sizeof(int));
+            for (i = 0; i < n; i++) { p[i] = 5; }
+            int s = 0;
+            for (i = 0; i < n; i++) { s += p[i]; }
+            printf("%d %d\n", i, s);
+            return s / 64;
+        }
+    "#,
+    );
+    // Non-sweep bodies and empty loops must agree too (generic path).
+    assert_bulk_equiv(
+        r#"
+        int main() {
+            int* p;
+            cudaMallocManaged((void**)&p, 64 * sizeof(int));
+            for (int i = 0; i < 64; i++) { p[i] = i; }
+            for (int i = 10; i < 10; i++) { p[i] = 9; }
+            int s = 0;
+            for (int i = 0; i < 64; i = i + 1) { s = s + p[i]; }
+            return s == 2016 ? 1 : 0;
+        }
+    "#,
+    );
+}
+
+#[test]
+fn sweep_out_of_bounds_errors_match_per_word() {
+    // The sweep overruns the allocation: the bulk path must decline and
+    // let the generic loop produce the same error and partial state.
+    let src = r#"
+        int main() {
+            int* p;
+            cudaMallocManaged((void**)&p, 8 * sizeof(int));
+            for (int i = 0; i < 100; i++) { p[i] = 1; }
+            return 0;
+        }
+    "#;
+    let bulk = run_source(src, intel_pascal(), false);
+    let mut m = hetsim::Machine::new(intel_pascal());
+    m.set_bulk_enabled(false);
+    let word = run_source_on(src, m, false);
+    let be = bulk.err().expect("bulk run should error").message;
+    let we = word.err().expect("per-word run should error").message;
+    assert_eq!(be, we);
+}
+
+#[test]
+fn sweep_fast_path_actually_engages() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct RangeSpy {
+        ranges: u64,
+        words: u64,
+    }
+    impl hetsim::MemHook for RangeSpy {
+        fn on_alloc(&mut self, _: u64, _: u64, _: hetsim::AllocKind) {}
+        fn on_free(&mut self, _: u64) {}
+        fn on_memcpy(&mut self, _: u64, _: u64, _: u64, _: hetsim::CopyKind) {}
+        fn on_kernel_launch(&mut self, _: &str) {}
+        fn on_read(&mut self, _: hetsim::Device, _: u64, _: u32) {
+            self.words += 1;
+        }
+        fn on_write(&mut self, _: hetsim::Device, _: u64, _: u32) {
+            self.words += 1;
+        }
+        fn on_access_range(
+            &mut self,
+            _: hetsim::Device,
+            _: u64,
+            _: u32,
+            count: u64,
+            _: hetsim::AccessKind,
+        ) {
+            self.ranges += 1;
+            self.words += count;
+        }
+    }
+
+    let src = r#"
+        int main() {
+            double* p;
+            cudaMallocManaged((void**)&p, 128 * sizeof(double));
+            for (int i = 0; i < 128; i++) { p[i] = 1.0; }
+            double s = 0.0;
+            for (int i = 0; i < 128; i++) { s = s + p[i]; }
+            return s == 128.0 ? 0 : 1;
+        }
+    "#;
+    let spy = Rc::new(RefCell::new(RangeSpy::default()));
+    let mut m = hetsim::Machine::new(intel_pascal());
+    m.add_hook(spy.clone());
+    let (out, _) = run_source_on(src, m, false).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(out.exit, 0);
+    let s = spy.borrow();
+    assert_eq!(s.ranges, 2, "fill + reduction should each be one range");
+    assert_eq!(s.words, 256);
+}

@@ -262,9 +262,8 @@ impl Lulesh {
 
         // CPU initializes the domain object and all data (the paper's
         // "GPU utilizes data initialized by the CPU" in iteration 1).
-        for (i, a) in arrays.iter().enumerate() {
-            m.st(dom, i, a.addr);
-        }
+        let ptrs: Vec<u64> = arrays.iter().map(|a| a.addr).collect();
+        m.st_range(dom, 0, &ptrs);
         m.st(dom, F_TMP0, 0);
         m.st(dom, F_TMP1, 0);
         m.st(dom, F_NUMELEM, cfg.elems() as u64);
@@ -273,15 +272,14 @@ impl Lulesh {
         m.st(dom, F_DT, (1e-7f64).to_bits());
         m.st(dom, F_CYCLE, 0);
         if variant == LuleshVariant::DupDomain {
-            for i in 0..DOM_FIELDS {
-                let v = m.ld(dom, i);
-                m.st(dom_gpu, i, v);
-            }
+            let fields = m.ld_range(dom, 0, DOM_FIELDS);
+            m.st_range(dom_gpu, 0, &fields);
         }
         for (ai, a) in arrays.iter().enumerate() {
-            for i in 0..a.len {
-                m.st(*a, i, 1.0 + (ai as f64) * 1e-3 + (i % 97) as f64 * 1e-4);
-            }
+            let vals: Vec<f64> = (0..a.len)
+                .map(|i| 1.0 + (ai as f64) * 1e-3 + (i % 97) as f64 * 1e-4)
+                .collect();
+            m.st_range(*a, 0, &vals);
         }
 
         // Apply the variant's advice to the shared domain page.

@@ -144,8 +144,9 @@ impl Backprop {
         // CPU reduces the partial sums into hidden-unit activations.
         let mut acc = [0f32; HID];
         for b in 0..blocks {
-            for (h, a) in acc.iter_mut().enumerate() {
-                *a += m.ld(partial_host, b * HID + h);
+            let row = m.ld_range(partial_host, b * HID, HID);
+            for (a, &v) in acc.iter_mut().zip(&row) {
+                *a += v;
             }
         }
         self.hidden_acc = acc.to_vec();

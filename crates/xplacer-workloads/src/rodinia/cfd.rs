@@ -159,14 +159,14 @@ impl Cfd {
             n,
             CopyKind::DeviceToHost,
         );
+        let rho_out = m.ld_range(self.host_out, 0, n);
+        let ene_out = m.ld_range(self.host_out, 2 * n, n);
         let mut s = 0.0;
         for i in 0..n {
-            s += m.ld(self.host_out, i) + m.ld(self.host_out, 2 * n + i);
+            s += rho_out[i] + ene_out[i];
         }
         // The momentum component is also read (fully consumed output).
-        for i in 0..n {
-            let _ = m.ld(self.host_out, n + i);
-        }
+        let _ = m.ld_range(self.host_out, n, n);
         self.check = s;
     }
 

@@ -128,9 +128,7 @@ impl Gaussian {
 
         // Host zeroes m, then transfers everything in — including the
         // zeros the GPU will overwrite before reading (the finding).
-        for i in 0..n * n {
-            m.st(self.m_host, i, 0.0);
-        }
+        m.fill(self.m_host, 0, n * n, 0.0);
         m.memcpy(self.a_cuda, self.a_host, n * n, CopyKind::HostToDevice);
         m.memcpy(self.b_cuda, self.b_host, n, CopyKind::HostToDevice);
         m.memcpy(self.m_cuda, self.m_host, n * n, CopyKind::HostToDevice);
@@ -169,8 +167,9 @@ impl Gaussian {
         let mut x = vec![0f64; n];
         for i in (0..n).rev() {
             let mut s = m.ld(self.b_host, i);
+            let row = m.ld_range(self.a_host, i * n + (i + 1), n - i - 1);
             for (j, &xj) in x.iter().enumerate().skip(i + 1) {
-                s -= m.ld(self.a_host, i * n + j) * xj;
+                s -= row[j - i - 1] * xj;
             }
             x[i] = s / m.ld(self.a_host, i * n + i);
             m.compute((n - i) as u64);

@@ -121,9 +121,9 @@ impl Nn {
 
         // CPU scans for the nearest record (the original keeps a top-k
         // list; k = 1 here).
+        let dists = m.ld_range(self.dist_host, 0, n);
         let mut best = (0usize, f32::MAX);
-        for i in 0..n {
-            let d = m.ld(self.dist_host, i);
+        for (i, &d) in dists.iter().enumerate() {
             if d < best.1 {
                 best = (i, d);
             }

@@ -162,12 +162,8 @@ impl SmithWaterman {
         let seq_b = gen_sequence(cfg.m, cfg.seed ^ 0xABCD);
         let a_host = m.alloc_host::<i32>(cfg.n);
         let b_host = m.alloc_host::<i32>(cfg.m);
-        for (i, &c) in seq_a.iter().enumerate() {
-            m.st(a_host, i, c);
-        }
-        for (i, &c) in seq_b.iter().enumerate() {
-            m.st(b_host, i, c);
-        }
+        m.st_range(a_host, 0, &seq_a);
+        m.st_range(b_host, 0, &seq_b);
 
         // Managed storage for the four data elements (§IV-B).
         let a = m.alloc_managed::<i32>(cfg.n);
@@ -206,10 +202,8 @@ impl SmithWaterman {
         if variant == SwVariant::Baseline {
             // The examined implementation "zeroes out the matrices" on
             // the CPU — the wasteful initialization of Fig. 7a.
-            for i in 0..cfg.cells() {
-                m.st(h, i, 0);
-                m.st(p, i, 0);
-            }
+            m.fill(h, 0, cfg.cells(), 0);
+            m.fill(p, 0, cfg.cells(), 0);
         }
         // Rotated variant: boundary values initialized on the fly (the
         // allocation's zero fill stands in for values never written).
@@ -304,11 +298,9 @@ impl SmithWaterman {
 
     /// CPU-side reduction of the per-diagonal maxima: the final score.
     pub fn score(&self, m: &mut Machine) -> i32 {
-        let mut s = 0;
-        for d in 0..self.cfg.diagonals() {
-            s = s.max(m.ld(self.best, d));
-        }
-        s
+        m.ld_range(self.best, 0, self.cfg.diagonals())
+            .into_iter()
+            .fold(0, i32::max)
     }
 
     /// Verification without perturbing the trace.

@@ -481,6 +481,58 @@ fn ref_um_model_lockstep_all_workloads() {
     }
 }
 
+/// The bulk fast path is invisible: every workload produces a bit-exact
+/// fingerprint (elapsed time, stats, timed event stream, shadow flags,
+/// rendered report) whether ranges go through `on_access_range` or
+/// decompose into the per-word scalar protocol.
+#[test]
+fn bulk_fast_path_matches_per_word_on_all_workloads() {
+    for name in golden::WORKLOADS {
+        let fast = golden::workload_bulk_fingerprint(name, true);
+        let slow = golden::workload_bulk_fingerprint(name, false);
+        if fast != slow {
+            let diff = fast
+                .lines()
+                .zip(slow.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b);
+            panic!(
+                "{name}: bulk and per-word fingerprints differ; first \
+                 differing line: {diff:?}"
+            );
+        }
+    }
+}
+
+/// The reference UM model verifies the ranged hook seam too: with bulk on
+/// the UM workloads drive `on_access_range` (checked_ranges > 0), with
+/// bulk off the same workloads decompose per-word — and the model stays
+/// in lockstep on both paths.
+#[test]
+fn ref_um_model_lockstep_both_bulk_paths() {
+    for name in ["lulesh", "smith_waterman"] {
+        let fast = golden::lockstep_workload_with(name, true);
+        let slow = golden::lockstep_workload_with(name, false);
+        for (label, res) in [("bulk", &fast), ("per-word", &slow)] {
+            assert!(
+                res.divergences.is_empty(),
+                "{name} ({label}): {} divergences, first: {}",
+                res.divergences.len(),
+                res.divergences.first().map(String::as_str).unwrap_or("")
+            );
+        }
+        assert!(
+            fast.checked_ranges > 0,
+            "{name}: bulk run never exercised on_access_range"
+        );
+        assert_eq!(slow.checked_ranges, 0, "{name}: per-word run saw ranges");
+        assert_eq!(
+            fast.checked_accesses, slow.checked_accesses,
+            "{name}: paths checked different managed access counts"
+        );
+    }
+}
+
 /// Lockstep also holds for interpreted mini-CUDA programs (instrumented
 /// runs on a hook-equipped machine).
 #[test]
