@@ -24,11 +24,24 @@ cargo run --release -q -p xplacer-bench --bin bench -- compare \
     crates/bench/baselines/BENCH_smoke.json results/BENCH_smoke.json \
     --max-regress 0.10
 
-echo "==> access-path microbench + throughput gate"
+echo "==> access-path microbench + throughput + telemetry-overhead gate"
 cargo run --release -q -p xplacer-bench --bin access_path -- --smoke \
     --out results/BENCH_access_path.json
 cargo run --release -q -p xplacer-bench --bin bench -- compare-access \
     crates/bench/baselines/BENCH_access_path.json results/BENCH_access_path.json \
     --max-regress 0.20
+
+echo "==> xplacer top replay smoke + determinism"
+# Record an event trace, replay the dashboard twice, and require the
+# --frames/--ascii output to be byte-identical (the golden-snapshot
+# contract, exercised through the real binary).
+./target/release/xplacer demo lulesh --log-level quiet \
+    --events-out results/top_events.json
+./target/release/xplacer top --replay results/top_events.json \
+    --frames 3 --ascii --log-level quiet > results/top_frames_a.txt
+./target/release/xplacer top --replay results/top_events.json \
+    --frames 3 --ascii --log-level quiet > results/top_frames_b.txt
+cmp results/top_frames_a.txt results/top_frames_b.txt
+grep -q "ping-pong" results/top_frames_a.txt
 
 echo "ci: all checks passed"

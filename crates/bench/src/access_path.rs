@@ -19,11 +19,13 @@
 //! across hosts, plus an absolute floor: the fast path must stay at
 //! least [`MIN_SPEEDUP`]× ahead.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use hetsim::{platform, Machine};
-use xplacer_core::attach_tracer;
-use xplacer_obs::Json;
+use xplacer_core::{attach_tracer, OnlineAnalyzer, OnlineConfig};
+use xplacer_obs::{Json, Telemetry, TelemetryConfig};
 
 /// Schema tag of `BENCH_access_path.json`.
 pub const ACCESS_BENCH_SCHEMA: &str = "xplacer-access-bench/1";
@@ -32,6 +34,14 @@ pub const ACCESS_BENCH_SCHEMA: &str = "xplacer-access-bench/1";
 /// `compare_access` fails the gate when the measured speedup drops below
 /// it regardless of the committed baseline.
 pub const MIN_SPEEDUP: f64 = 3.0;
+
+/// Telemetry-overhead floor: the bulk sweep with the full streaming
+/// telemetry stack attached (time-series bucketing plus the online
+/// episode analyzer) must retain at least this fraction of plain bulk
+/// throughput. The observers only see discrete events and one range
+/// callback per sweep, so a breach means someone made a hot-path
+/// callback do per-word work again.
+pub const TELEMETRY_MIN_RATIO: f64 = 0.5;
 
 /// Benchmark shape.
 #[derive(Debug, Clone, Copy)]
@@ -76,8 +86,13 @@ pub struct AccessPathRecord {
     pub ops_per_sec_word: f64,
     /// Accounted accesses per second, fast path enabled.
     pub ops_per_sec_bulk: f64,
+    /// Fast path enabled with the streaming telemetry stack attached.
+    pub ops_per_sec_telemetry: f64,
     /// `ops_per_sec_bulk / ops_per_sec_word` — the gated metric.
     pub speedup: f64,
+    /// `ops_per_sec_telemetry / ops_per_sec_bulk` — gated against
+    /// [`TELEMETRY_MIN_RATIO`].
+    pub telemetry_ratio: f64,
 }
 
 impl AccessPathRecord {
@@ -89,7 +104,12 @@ impl AccessPathRecord {
             .set("elems", self.elems.into())
             .set("ops_per_sec_word", Json::Num(self.ops_per_sec_word))
             .set("ops_per_sec_bulk", Json::Num(self.ops_per_sec_bulk))
-            .set("speedup", Json::Num(self.speedup));
+            .set(
+                "ops_per_sec_telemetry",
+                Json::Num(self.ops_per_sec_telemetry),
+            )
+            .set("speedup", Json::Num(self.speedup))
+            .set("telemetry_ratio", Json::Num(self.telemetry_ratio));
         j
     }
 
@@ -117,7 +137,13 @@ impl AccessPathRecord {
             elems: int("elems")?,
             ops_per_sec_word: num("ops_per_sec_word")?,
             ops_per_sec_bulk: num("ops_per_sec_bulk")?,
+            // Telemetry fields arrived in a later revision of the same
+            // schema; baselines recorded before them read as "no
+            // overhead" so the speedup gate still applies unchanged.
+            ops_per_sec_telemetry: num("ops_per_sec_telemetry")
+                .unwrap_or_else(|_| num("ops_per_sec_bulk").unwrap_or(0.0)),
             speedup: num("speedup")?,
+            telemetry_ratio: num("telemetry_ratio").unwrap_or(1.0),
         })
     }
 
@@ -128,9 +154,19 @@ impl AccessPathRecord {
 
 /// Measure one variant: accounted accesses per wall second of traced
 /// contiguous sweeping (alternating full-array write and read passes).
-fn sweep_ops_per_sec(cfg: &AccessPathConfig, bulk: bool) -> f64 {
+fn sweep_ops_per_sec(cfg: &AccessPathConfig, bulk: bool, telemetry: bool) -> f64 {
     let mut m = Machine::new(platform::intel_pascal());
     let _tracer = attach_tracer(&mut m);
+    if telemetry {
+        let link_bw = m.platform().link_bw;
+        m.add_hook(Rc::new(RefCell::new(Telemetry::new(
+            TelemetryConfig::default(),
+            link_bw,
+        ))));
+        m.add_hook(Rc::new(RefCell::new(OnlineAnalyzer::new(
+            OnlineConfig::default(),
+        ))));
+    }
     let ptrs: Vec<_> = (0..cfg.allocs)
         .map(|_| m.alloc_managed::<f64>(cfg.elems))
         .collect();
@@ -157,15 +193,18 @@ fn sweep_ops_per_sec(cfg: &AccessPathConfig, bulk: bool) -> f64 {
 
 /// Run the microbenchmark and build its record.
 pub fn run_access_path(cfg: &AccessPathConfig) -> AccessPathRecord {
-    let word = sweep_ops_per_sec(cfg, false);
-    let bulk = sweep_ops_per_sec(cfg, true);
+    let word = sweep_ops_per_sec(cfg, false, false);
+    let bulk = sweep_ops_per_sec(cfg, true, false);
+    let telemetry = sweep_ops_per_sec(cfg, true, true);
     AccessPathRecord {
         name: "access_path".to_string(),
         allocs: cfg.allocs as u64,
         elems: cfg.elems as u64,
         ops_per_sec_word: word,
         ops_per_sec_bulk: bulk,
+        ops_per_sec_telemetry: telemetry,
         speedup: bulk / word,
+        telemetry_ratio: telemetry / bulk,
     }
 }
 
@@ -180,11 +219,16 @@ pub struct AccessDelta {
     pub regressed: bool,
     /// Speedup fell below the absolute [`MIN_SPEEDUP`] floor.
     pub below_floor: bool,
+    pub baseline_telemetry_ratio: f64,
+    pub current_telemetry_ratio: f64,
+    /// Telemetry-attached throughput fell below
+    /// [`TELEMETRY_MIN_RATIO`] of plain bulk.
+    pub telemetry_below_floor: bool,
 }
 
 impl AccessDelta {
     pub fn failed(&self) -> bool {
-        self.regressed || self.below_floor
+        self.regressed || self.below_floor || self.telemetry_below_floor
     }
 }
 
@@ -211,6 +255,9 @@ pub fn compare_access(
         ratio,
         regressed: ratio < -max_regress,
         below_floor: current.speedup < MIN_SPEEDUP,
+        baseline_telemetry_ratio: baseline.telemetry_ratio,
+        current_telemetry_ratio: current.telemetry_ratio,
+        telemetry_below_floor: current.telemetry_ratio < TELEMETRY_MIN_RATIO,
     }
 }
 
@@ -254,6 +301,17 @@ pub fn render_access_compare(
         delta.current_speedup,
         delta.ratio * 100.0
     );
+    let _ = writeln!(
+        s,
+        "  telemetry    {:>12.2}x -> {:>12.2}x of bulk (floor {TELEMETRY_MIN_RATIO}x)  {}",
+        delta.baseline_telemetry_ratio,
+        delta.current_telemetry_ratio,
+        if delta.telemetry_below_floor {
+            "BELOW FLOOR"
+        } else {
+            "ok"
+        }
+    );
     s
 }
 
@@ -268,7 +326,9 @@ mod tests {
             elems: 65536,
             ops_per_sec_word: 1e6,
             ops_per_sec_bulk: 1e6 * speedup,
+            ops_per_sec_telemetry: 0.9e6 * speedup,
             speedup,
+            telemetry_ratio: 0.9,
         }
     }
 
@@ -282,6 +342,29 @@ mod tests {
     #[test]
     fn rejects_wrong_schema() {
         assert!(AccessPathRecord::parse("{\"schema\": \"other/1\"}").is_err());
+    }
+
+    #[test]
+    fn pre_telemetry_baselines_read_as_no_overhead() {
+        let mut j = record(10.0).to_json();
+        j.set("ops_per_sec_telemetry", Json::Null)
+            .set("telemetry_ratio", Json::Null);
+        let back = AccessPathRecord::parse(&j.to_string_pretty()).unwrap();
+        assert_eq!(back.ops_per_sec_telemetry, back.ops_per_sec_bulk);
+        assert_eq!(back.telemetry_ratio, 1.0);
+    }
+
+    #[test]
+    fn telemetry_overhead_gates_on_absolute_floor() {
+        let base = record(10.0);
+        let mut slow = record(10.0);
+        slow.telemetry_ratio = TELEMETRY_MIN_RATIO / 2.0;
+        let d = compare_access(&base, &slow, 0.20);
+        assert!(d.telemetry_below_floor && d.failed());
+        assert!(
+            !d.regressed && !d.below_floor,
+            "only the telemetry floor trips"
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ fn run() -> Result<(), String> {
     );
     println!("  per-word  {:>14.0} ops/sec", rec.ops_per_sec_word);
     println!("  bulk      {:>14.0} ops/sec", rec.ops_per_sec_bulk);
+    println!("  telemetry {:>14.0} ops/sec", rec.ops_per_sec_telemetry);
     println!("  speedup   {:>13.1}x", rec.speedup);
+    println!("  telemetry {:>13.2}x of bulk", rec.telemetry_ratio);
     if let Some(dir) = std::path::Path::new(&out).parent() {
         std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
     }

@@ -4,6 +4,7 @@
 
 pub mod alternating;
 pub mod density;
+pub mod online;
 pub mod transfer;
 
 use hetsim::Addr;

@@ -39,6 +39,7 @@ pub mod smt;
 pub mod suggest;
 pub mod tracer;
 
+pub use antipattern::online::{Episode, EpisodeKind, OnlineAnalyzer, OnlineConfig};
 pub use antipattern::{analyze, AnalysisConfig, Finding, FindingKind};
 pub use diagnostic::{
     format_fig4, summarize, summarize_entry, to_csv, trace_collect, trace_print, AllocSummary,

@@ -15,7 +15,7 @@ use std::rc::Rc;
 
 use crate::clock::{StreamId, DEFAULT_STREAM};
 use crate::hook::MemHook;
-use crate::types::{Addr, AllocKind, CopyKind, Device, MemAdvise};
+use crate::types::{AccessKind, Addr, AllocKind, CopyKind, Device, MemAdvise};
 
 /// One simulator action. Span-like events (kernels, copies, prefetches)
 /// carry their own `[start_ns, end_ns]` interval; point events are located
@@ -270,6 +270,10 @@ impl MemHook for EventLog {
     fn on_free(&mut self, _base: Addr) {}
     fn on_read(&mut self, _dev: Device, _addr: Addr, _size: u32) {}
     fn on_write(&mut self, _dev: Device, _addr: Addr, _size: u32) {}
+    // Override the default per-element decomposition with a no-op: the
+    // log ignores word traffic, so through a fanout it must not pay O(n)
+    // empty calls per bulk range either.
+    fn on_access_range(&mut self, _: Device, _: Addr, _: u32, _: u64, _: AccessKind) {}
     fn on_memcpy(&mut self, _dst: Addr, _src: Addr, _bytes: u64, _kind: CopyKind) {}
     fn on_kernel_launch(&mut self, _name: &str) {}
 

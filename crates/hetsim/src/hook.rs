@@ -174,6 +174,101 @@ impl MemHook for FanoutHook {
     }
 }
 
+/// Self-overhead accounting for one observer: how much *wall-clock* time
+/// the simulation spent inside its callbacks, and how often it was called.
+/// The simulated clock never sees this time (observers are pure); the
+/// meter exists so a run can report what its own instrumentation cost —
+/// the Table III question, asked of the observers instead of the tracer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HookMeter {
+    /// Callback invocations forwarded to the inner hook.
+    pub calls: u64,
+    /// Wall-clock nanoseconds spent inside those callbacks.
+    pub wall_ns: u64,
+}
+
+impl HookMeter {
+    /// Mean wall nanoseconds per forwarded callback (0 when never called).
+    pub fn mean_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.wall_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// Wraps another hook and meters the wall time spent in its callbacks.
+/// Forwards range and RMW callbacks as single calls so the inner hook's
+/// fast paths survive the wrapping.
+pub struct MeteredHook {
+    inner: Rc<RefCell<dyn MemHook>>,
+    meter: Rc<RefCell<HookMeter>>,
+}
+
+impl MeteredHook {
+    /// Wrap `inner`; the returned meter handle stays readable after the
+    /// hook has been attached to a machine.
+    pub fn new(inner: Rc<RefCell<dyn MemHook>>) -> (Self, Rc<RefCell<HookMeter>>) {
+        let meter = Rc::new(RefCell::new(HookMeter::default()));
+        (
+            MeteredHook {
+                inner,
+                meter: meter.clone(),
+            },
+            meter,
+        )
+    }
+
+    fn timed(&self, f: impl FnOnce(&mut dyn MemHook)) {
+        let t0 = std::time::Instant::now();
+        f(&mut *self.inner.borrow_mut());
+        let mut m = self.meter.borrow_mut();
+        m.calls += 1;
+        m.wall_ns += t0.elapsed().as_nanos() as u64;
+    }
+}
+
+impl MemHook for MeteredHook {
+    fn on_alloc(&mut self, base: Addr, size: u64, kind: AllocKind) {
+        self.timed(|h| h.on_alloc(base, size, kind));
+    }
+    fn on_free(&mut self, base: Addr) {
+        self.timed(|h| h.on_free(base));
+    }
+    fn on_read(&mut self, dev: Device, addr: Addr, size: u32) {
+        self.timed(|h| h.on_read(dev, addr, size));
+    }
+    fn on_write(&mut self, dev: Device, addr: Addr, size: u32) {
+        self.timed(|h| h.on_write(dev, addr, size));
+    }
+    fn on_read_write(&mut self, dev: Device, addr: Addr, size: u32) {
+        self.timed(|h| h.on_read_write(dev, addr, size));
+    }
+    fn on_access_range(
+        &mut self,
+        dev: Device,
+        addr: Addr,
+        elem_size: u32,
+        count: u64,
+        kind: AccessKind,
+    ) {
+        self.timed(|h| h.on_access_range(dev, addr, elem_size, count, kind));
+    }
+    fn on_memcpy(&mut self, dst: Addr, src: Addr, bytes: u64, kind: CopyKind) {
+        self.timed(|h| h.on_memcpy(dst, src, bytes, kind));
+    }
+    fn on_kernel_launch(&mut self, name: &str) {
+        self.timed(|h| h.on_kernel_launch(name));
+    }
+    fn on_kernel_end(&mut self, name: &str) {
+        self.timed(|h| h.on_kernel_end(name));
+    }
+    fn on_event(&mut self, ev: &TimedEvent) {
+        self.timed(|h| h.on_event(ev));
+    }
+}
+
 /// A hook that counts events — useful for tests and overhead ablations.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CountingHook {
@@ -337,6 +432,24 @@ mod tests {
         assert_eq!(s.words, 0);
         // The non-overriding hook still sees the per-word decomposition.
         assert_eq!(count.borrow().reads, 7);
+    }
+
+    #[test]
+    fn metered_hook_forwards_and_accounts() {
+        let inner = Rc::new(RefCell::new(CountingHook::default()));
+        let (metered, meter) = MeteredHook::new(inner.clone());
+        let mut h = metered;
+        h.on_alloc(0x1000, 64, AllocKind::Managed);
+        h.on_access_range(Device::Cpu, 0x1000, 8, 4, AccessKind::Read);
+        h.on_kernel_launch("k");
+        h.on_free(0x1000);
+        // The inner hook saw everything (range decomposed by its default).
+        let c = inner.borrow();
+        assert_eq!((c.allocs, c.reads, c.launches, c.frees), (1, 4, 1, 1));
+        // The meter counted one call per *forwarded* callback, not per
+        // decomposed word.
+        assert_eq!(meter.borrow().calls, 4);
+        assert!(meter.borrow().mean_ns() >= 0.0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! xplacer advise <file.cu> [options]      run traced and print placement advice
 //! xplacer demo <workload> [options]       run a built-in workload traced
 //! xplacer profile <workload|file.cu>      cost-attribution profile of a run
+//! xplacer top <workload|file.cu>          time-series telemetry dashboard
+//! xplacer top --replay <events.json>      replay a recorded event trace
 //! xplacer platforms                       list the simulated platforms
 //!
 //! options:
@@ -15,6 +17,9 @@
 //!   --stats                               print simulator counters
 //!   --trace-out <file>                    write a Chrome Trace Event JSON
 //!   --metrics-out <file>                  write a JSON metrics report
+//!   --events-out <file>                   write the full event stream JSON
+//!                                         (replayable with `xplacer top`)
+//!   --timeseries-out <file>               write epoch-bucketed telemetry JSON
 //!   --heatmap                             print page x epoch access heatmaps
 //!   --json                                machine-readable report on stdout,
 //!                                         human text on stderr
@@ -23,6 +28,12 @@
 //! profile options:
 //!   --top <n>                             rows in hot-allocation/cell lists
 //!   --folded-out <file>                   write flamegraph folded stacks
+//!
+//! top options:
+//!   --frames <n>                          dashboard frames to render (default 3)
+//!   --ascii                               7-bit ASCII sparklines (deterministic)
+//!   --epoch-ns <ns>                       initial telemetry epoch width
+//!   --buckets <n>                         bucket cap before downsampling
 //! ```
 
 use std::cell::RefCell;
@@ -30,14 +41,18 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::rc::Rc;
 
-use hetsim::{platform, EventLog, Machine, Platform, Stats};
+use hetsim::{platform, EventLog, Machine, MeteredHook, Platform, Stats};
 use xplacer_core::antipattern::{analyze, AnalysisConfig};
-use xplacer_core::{AllocSummary, Report, Tracer};
+use xplacer_core::{AllocSummary, OnlineAnalyzer, OnlineConfig, Report, Tracer};
 use xplacer_interp::{run_source, run_source_on};
 use xplacer_lang::parser::parse;
 use xplacer_lang::unparse::unparse;
 use xplacer_obs::flamegraph::folded_stacks;
-use xplacer_obs::{chrome_trace, metrics_report, HeatmapRecorder, ProfileReport};
+use xplacer_obs::timeseries::timeseries_json;
+use xplacer_obs::{
+    chrome_trace_with_series, events_from_json, events_json, metrics_report, replay, DashOpts,
+    EventTrace, HeatmapRecorder, Json, ProfileReport, Telemetry, TelemetryConfig,
+};
 use xplacer_workloads::register_names;
 
 /// Ring capacity for `xplacer profile`: attribution wants the complete
@@ -56,9 +71,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: xplacer <instrument|run|analyze|advise|demo|profile|platforms> [args]\n\
-     try `xplacer demo lulesh`, `xplacer profile pathfinder`, or \
-     `xplacer analyze examples/mini/alternating.cu`"
+    "usage: xplacer <instrument|run|analyze|advise|demo|profile|top|platforms> [args]\n\
+     try `xplacer demo lulesh`, `xplacer profile pathfinder`, `xplacer top lulesh`, \
+     or `xplacer analyze examples/mini/alternating.cu`"
         .to_string()
 }
 
@@ -74,6 +89,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "advise" => cmd_advise(rest),
         "demo" => cmd_demo(rest),
         "profile" => cmd_profile(rest),
+        "top" => cmd_top(rest),
         "platforms" => {
             for pf in platform::all_platforms() {
                 println!(
@@ -172,6 +188,8 @@ impl Ui {
 struct ObsOpts {
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    events_out: Option<String>,
+    timeseries_out: Option<String>,
     heatmap: bool,
     json: bool,
 }
@@ -180,22 +198,27 @@ impl ObsOpts {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut o = ObsOpts::default();
         let mut i = 0;
+        let path = |args: &[String], i: usize, flag: &str| {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a path"))
+                .cloned()
+        };
         while i < args.len() {
             match args[i].as_str() {
                 "--trace-out" => {
-                    o.trace_out = Some(
-                        args.get(i + 1)
-                            .ok_or_else(|| "--trace-out needs a path".to_string())?
-                            .clone(),
-                    );
+                    o.trace_out = Some(path(args, i, "--trace-out")?);
                     i += 1;
                 }
                 "--metrics-out" => {
-                    o.metrics_out = Some(
-                        args.get(i + 1)
-                            .ok_or_else(|| "--metrics-out needs a path".to_string())?
-                            .clone(),
-                    );
+                    o.metrics_out = Some(path(args, i, "--metrics-out")?);
+                    i += 1;
+                }
+                "--events-out" => {
+                    o.events_out = Some(path(args, i, "--events-out")?);
+                    i += 1;
+                }
+                "--timeseries-out" => {
+                    o.timeseries_out = Some(path(args, i, "--timeseries-out")?);
                     i += 1;
                 }
                 "--heatmap" => o.heatmap = true,
@@ -209,7 +232,16 @@ impl ObsOpts {
 
     /// Does anything need the structured event stream?
     fn wants_events(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some() || self.json
+        self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.events_out.is_some()
+            || self.json
+    }
+
+    /// Does anything need the epoch-bucketed telemetry (and the online
+    /// episode detectors that ride on it)?
+    fn wants_telemetry(&self) -> bool {
+        self.trace_out.is_some() || self.timeseries_out.is_some()
     }
 }
 
@@ -219,6 +251,8 @@ impl ObsOpts {
 struct Observers {
     log: Option<Rc<RefCell<EventLog>>>,
     heat: Option<Rc<RefCell<HeatmapRecorder>>>,
+    telemetry: Option<Rc<RefCell<Telemetry>>>,
+    online: Option<Rc<RefCell<OnlineAnalyzer>>>,
 }
 
 /// Attach the observers `opts` asks for *alongside* whatever hook the
@@ -229,6 +263,17 @@ fn attach_observers(m: &mut Machine, opts: &ObsOpts) -> Observers {
         let log = Rc::new(RefCell::new(EventLog::new()));
         m.add_hook(log.clone());
         obs.log = Some(log);
+    }
+    if opts.wants_telemetry() {
+        let tele = Rc::new(RefCell::new(Telemetry::new(
+            TelemetryConfig::default(),
+            m.platform().link_bw,
+        )));
+        m.add_hook(tele.clone());
+        obs.telemetry = Some(tele);
+        let online = Rc::new(RefCell::new(OnlineAnalyzer::new(OnlineConfig::default())));
+        m.add_hook(online.clone());
+        obs.online = Some(online);
     }
     if opts.heatmap {
         let heat = Rc::new(RefCell::new(HeatmapRecorder::new(m.platform().page_size)));
@@ -258,7 +303,7 @@ fn emit_observability(
     opts: &ObsOpts,
     obs: &Observers,
     workload: &str,
-    platform: &str,
+    pf: &Platform,
     elapsed_ns: f64,
     stats: &Stats,
     allocs: &[AllocSummary],
@@ -269,18 +314,48 @@ fn emit_observability(
     }
     if let Some(path) = &opts.trace_out {
         let log = obs.log.as_ref().expect("event log attached").borrow();
-        let text = chrome_trace(&log).to_string_compact();
+        let tele = obs.telemetry.as_ref().map(|t| t.borrow());
+        let text = chrome_trace_with_series(&log, tele.as_deref()).to_string_compact();
         std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
         ui.info(&format!(
             "wrote chrome trace to {path} ({} events; open in chrome://tracing)",
             log.len()
         ));
     }
+    if let Some(path) = &opts.events_out {
+        let log = obs.log.as_ref().expect("event log attached").borrow();
+        let doc = events_json(&log, workload, elapsed_ns, pf, allocs);
+        std::fs::write(path, format!("{}\n", doc.to_string_pretty()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        ui.info(&format!(
+            "wrote event stream to {path} ({} events; replay with `xplacer top --replay {path}`)",
+            log.len()
+        ));
+    }
+    if let Some(path) = &opts.timeseries_out {
+        let tele = obs.telemetry.as_ref().expect("telemetry attached").borrow();
+        let episodes = match &obs.online {
+            Some(o) => {
+                let mut o = o.borrow_mut();
+                o.finish();
+                o.episodes().to_vec()
+            }
+            None => Vec::new(),
+        };
+        let doc = timeseries_json(&tele, workload, pf.name, &episodes);
+        std::fs::write(path, format!("{}\n", doc.to_string_pretty()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        ui.info(&format!(
+            "wrote timeseries telemetry to {path} ({} buckets, {} episodes)",
+            tele.global().len(),
+            episodes.len()
+        ));
+    }
     if opts.metrics_out.is_some() || opts.json {
         let log = obs.log.as_ref().map(|l| l.borrow());
         let doc = metrics_report(
             workload,
-            platform,
+            pf.name,
             elapsed_ns,
             stats,
             allocs,
@@ -327,9 +402,15 @@ const VALUE_FLAGS: &[&str] = &[
     "--platform",
     "--trace-out",
     "--metrics-out",
+    "--events-out",
+    "--timeseries-out",
     "--log-level",
     "--top",
     "--folded-out",
+    "--replay",
+    "--frames",
+    "--epoch-ns",
+    "--buckets",
 ];
 
 fn read_file(args: &[String]) -> Result<(String, String), String> {
@@ -435,7 +516,7 @@ fn cmd_run(args: &[String], analyze_after: bool) -> Result<(), String> {
         &obs_opts,
         &obs,
         &path,
-        pf.name,
+        &pf,
         out.elapsed_ns,
         &out.stats,
         &allocs,
@@ -596,7 +677,7 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         &obs_opts,
         &obs,
         which,
-        pf.name,
+        &pf,
         elapsed,
         &m.stats,
         &all_allocs,
@@ -677,4 +758,167 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         let _ = write!(ui.human(), "{}", report.render_table(top));
     }
     Ok(())
+}
+
+/// First positional (non-flag) argument, skipping flag values.
+fn positional(args: &[String]) -> Option<String> {
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            return Some(a.clone());
+        }
+    }
+    None
+}
+
+/// `xplacer top`: the time-series telemetry dashboard. Live mode runs a
+/// workload (or MiniCU program) with the full event ring recording, then
+/// renders `--frames` evenly spaced dashboard frames over the simulated
+/// timeline; `--replay <events.json>` drives the same pipeline from a
+/// trace recorded earlier with `--events-out`. `--frames N --ascii` output
+/// is byte-deterministic (golden-snapshot tested).
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let ui = Ui::parse(args)?;
+    let frames = match flag_value(args, "--frames")? {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("--frames expects a positive number, got `{v}`"))?,
+        None => 3,
+    };
+    let mut cfg = TelemetryConfig::default();
+    if let Some(v) = flag_value(args, "--epoch-ns")? {
+        cfg.epoch_ns = v
+            .parse::<f64>()
+            .ok()
+            .filter(|e| *e > 0.0)
+            .ok_or_else(|| format!("--epoch-ns expects a positive number, got `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--buckets")? {
+        cfg.max_buckets = v
+            .parse::<usize>()
+            .ok()
+            .filter(|b| *b >= 2)
+            .ok_or_else(|| format!("--buckets expects a number >= 2, got `{v}`"))?;
+    }
+    let opts = DashOpts {
+        ascii: args.iter().any(|a| a == "--ascii"),
+        ..DashOpts::default()
+    };
+    let timeseries_out = flag_value(args, "--timeseries-out")?.map(str::to_string);
+
+    let trace = match flag_value(args, "--replay")? {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            events_from_json(&doc).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => record_trace_live(&ui, args)?,
+    };
+
+    let out = replay(&trace, cfg, OnlineConfig::default(), frames, &opts);
+    let mut h = ui.human();
+    for (i, frame) in out.frames.iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(h);
+        }
+        let _ = write!(h, "{frame}");
+    }
+    drop(h);
+
+    if timeseries_out.is_some() || ui.json {
+        let doc = timeseries_json(
+            &out.telemetry,
+            &trace.workload,
+            &trace.platform_name,
+            &out.episodes,
+        );
+        let text = doc.to_string_pretty();
+        if let Some(path) = &timeseries_out {
+            std::fs::write(path, format!("{text}\n"))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            ui.info(&format!("wrote timeseries telemetry to {path}"));
+        }
+        if ui.json {
+            println!("{text}");
+        }
+    }
+    Ok(())
+}
+
+/// Run a workload (or MiniCU program) with a deep, wall-clock-metered
+/// event ring and package the stream as an in-memory trace for the
+/// dashboard pipeline — live mode is replay over a trace recorded seconds
+/// ago.
+fn record_trace_live(ui: &Ui, args: &[String]) -> Result<EventTrace, String> {
+    let Some(target) = positional(args) else {
+        return Err(format!(
+            "top requires a workload ({WORKLOADS}), a .cu file, or --replay <events.json>"
+        ));
+    };
+    let pf = pick_platform(args)?;
+    let log = Rc::new(RefCell::new(EventLog::with_capacity(PROFILE_RING_CAPACITY)));
+    let (metered, meter) = MeteredHook::new(log.clone());
+    let metered: Rc<RefCell<dyn hetsim::MemHook>> = Rc::new(RefCell::new(metered));
+
+    let (elapsed, names) = if target.ends_with(".cu") {
+        let src =
+            std::fs::read_to_string(&target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        let mut machine = Machine::new(pf.clone());
+        machine.add_hook(metered);
+        ui.debug(&format!("recording {target} on {}", pf.name));
+        let (out, interp) =
+            run_source_on(&src, machine, true).map_err(|e| format!("{target}: {e}"))?;
+        let names: Vec<(u64, String)> = xplacer_core::summarize(&interp.tracer.smt, false)
+            .into_iter()
+            .map(|s| (s.base, s.name))
+            .collect();
+        (out.elapsed_ns, names)
+    } else {
+        let mut m = Machine::new(pf.clone());
+        let tracer = xplacer_core::attach_tracer(&mut m);
+        m.add_hook(metered);
+        ui.debug(&format!("recording workload {target} on {}", pf.name));
+        let (check, names) = run_builtin_workload(&mut m, &tracer, &target)?;
+        ui.info(&format!(
+            "{target} on {}: check={check:.4}, simulated {:.3} ms",
+            pf.name,
+            m.elapsed_ns() / 1e6
+        ));
+        (m.elapsed_ns(), names)
+    };
+
+    let log = log.borrow();
+    warn_if_truncated(ui, &log);
+    let mt = meter.borrow();
+    // Wall-clock self-overhead goes to stderr only: it is nondeterministic
+    // and must never contaminate the replayable artifacts.
+    ui.info(&format!(
+        "telemetry self-overhead: {} hook calls, {:.3} ms wall ({:.0} ns/call), {} events dropped",
+        mt.calls,
+        mt.wall_ns as f64 / 1e6,
+        mt.mean_ns(),
+        log.dropped()
+    ));
+    Ok(EventTrace {
+        workload: target,
+        platform_name: pf.name.to_string(),
+        page_size: pf.page_size,
+        link_bw: pf.link_bw,
+        elapsed_ns: elapsed,
+        recorded: log.total_recorded(),
+        dropped: log.dropped(),
+        names,
+        events: log.events().cloned().collect(),
+    })
 }

@@ -13,6 +13,7 @@
 use hetsim::{Device, Event, EventLog, TimedEvent};
 
 use crate::json::Json;
+use crate::timeseries::Telemetry;
 
 /// Process id used for all tracks.
 const PID: u64 = 1;
@@ -142,6 +143,14 @@ impl Counters {
 /// Render the full trace document. Event order (and therefore output) is
 /// deterministic: it follows the log's recording order.
 pub fn chrome_trace(log: &EventLog) -> Json {
+    chrome_trace_with_series(log, None)
+}
+
+/// [`chrome_trace`] plus per-epoch counter lanes from the telemetry
+/// series: interconnect bandwidth (GB/s) and fault rate (faults/epoch),
+/// one `"ph":"C"` sample per epoch, so Perfetto shows the time-resolved
+/// lanes alongside the kernel spans.
+pub fn chrome_trace_with_series(log: &EventLog, series: Option<&Telemetry>) -> Json {
     let mut events = Vec::new();
     events.push(meta("process_name", DRIVER_TID, "hetsim"));
     events.push(meta("thread_name", DRIVER_TID, "um driver"));
@@ -294,6 +303,18 @@ pub fn chrome_trace(log: &EventLog) -> Json {
         }
     }
 
+    if let Some(t) = series {
+        for (i, s) in t.global().iter().enumerate() {
+            let at = i as f64 * t.epoch_ns();
+            events.push(counter(
+                "epoch_bandwidth_gbps",
+                at,
+                s.bytes_moved as f64 / t.epoch_ns(),
+            ));
+            events.push(counter("epoch_faults", at, s.faults as f64));
+        }
+    }
+
     let mut doc = Json::obj();
     doc.set("traceEvents", Json::Arr(events))
         .set("displayTimeUnit", "ns".into());
@@ -384,6 +405,36 @@ mod tests {
             .collect();
         assert!(!resident.is_empty());
         assert!(resident.iter().any(|&v| v > 0.0), "GPU gained residency");
+    }
+
+    #[test]
+    fn telemetry_series_adds_epoch_counter_lanes() {
+        use crate::timeseries::TelemetryConfig;
+        use hetsim::MemHook;
+        let log = demo_log();
+        let mut t = Telemetry::new(TelemetryConfig::default(), 12.0);
+        for ev in log.events() {
+            MemHook::on_event(&mut t, ev);
+        }
+        let doc = chrome_trace_with_series(&log, Some(&t));
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let lane = |name: &str| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.get("ph").unwrap().as_str() == Some("C")
+                        && e.get("name").unwrap().as_str() == Some(name)
+                })
+                .count()
+        };
+        assert_eq!(lane("epoch_bandwidth_gbps"), t.global().len());
+        assert_eq!(lane("epoch_faults"), t.global().len());
+        // Without a series the lanes are absent (back-compat).
+        let plain = chrome_trace(&log);
+        let plain_events = plain.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!plain_events
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("epoch_bandwidth_gbps")));
     }
 
     #[test]

@@ -18,22 +18,34 @@
 //!   allocation) cells, and hot-allocation rankings;
 //! * [`flamegraph`] — folded-stacks export
 //!   (`platform;kernel;alloc;event-kind cost_ns`) for standard flamegraph
-//!   renderers.
+//!   renderers;
+//! * [`events`] — the full attributed event stream as JSON, the interchange
+//!   format behind `xplacer top --replay`;
+//! * [`timeseries`] — streaming per-allocation telemetry bucketed into
+//!   simulated-time epochs with exact-sum hierarchical downsampling;
+//! * [`dashboard`] — the `xplacer top` frame renderer (sparklines,
+//!   bandwidth gauge, hottest allocations, anti-pattern episodes).
 //!
 //! Everything is hand-rolled on purpose: the build environment has no
 //! registry access, so the [`json`] module provides the tiny JSON
 //! document model the exporters share.
 
 pub mod chrome_trace;
+pub mod dashboard;
+pub mod events;
 pub mod flamegraph;
 pub mod heatmap;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod timeseries;
 
-pub use chrome_trace::chrome_trace;
+pub use chrome_trace::{chrome_trace, chrome_trace_with_series};
+pub use dashboard::{render_frame, replay, DashOpts, FrameInfo, ReplayOutcome};
+pub use events::{events_from_json, events_json, EventTrace};
 pub use flamegraph::folded_stacks;
 pub use heatmap::HeatmapRecorder;
 pub use json::Json;
 pub use metrics::{metrics_report, stats_json};
 pub use profile::ProfileReport;
+pub use timeseries::{timeseries_json, Sample, Telemetry, TelemetryConfig};

@@ -137,6 +137,7 @@ pub fn event_log_json(log: &EventLog) -> Json {
     j.set("recorded", log.total_recorded().into())
         .set("retained", log.len().into())
         .set("dropped", log.dropped().into())
+        .set("truncated", (log.dropped() > 0).into())
         .set("capacity", log.capacity().into())
         .set("by_kind", by_kind);
     j
@@ -168,7 +169,11 @@ pub fn metrics_report(
         j.set("report", report_json(r));
     }
     if let Some(log) = events {
-        j.set("events", event_log_json(log));
+        // Ring health at the top level too, so dashboards reading only the
+        // header learn whether counts are complete.
+        j.set("events_recorded", log.total_recorded().into())
+            .set("events_dropped", log.dropped().into())
+            .set("events", event_log_json(log));
     }
     j
 }
@@ -255,6 +260,7 @@ mod tests {
         }
         let j = event_log_json(&log);
         assert_eq!(j.get("recorded").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("truncated").unwrap().as_bool(), Some(false));
         assert_eq!(
             j.get("by_kind").unwrap().get("free").unwrap().as_u64(),
             Some(3)
