@@ -44,4 +44,32 @@ echo "==> xplacer top replay smoke + determinism"
 cmp results/top_frames_a.txt results/top_frames_b.txt
 grep -q "ping-pong" results/top_frames_a.txt
 
+echo "==> xplacer blame golden + xplacer diff gate"
+# Blame the demo-recorded trace through the real binary and byte-compare
+# against the committed snapshot (the same bytes tests/blame.rs
+# maintains; regenerate with XPLACER_BLESS=1).
+./target/release/xplacer blame --replay results/top_events.json \
+    --log-level quiet > results/blame_replay.txt
+cmp results/blame_replay.txt tests/golden/blame_replay_lulesh.golden
+# Self-diff must report zero deltas and exit 0.
+./target/release/xplacer diff results/top_events.json results/top_events.json \
+    --log-level quiet > results/diff_self.txt
+grep -q "no differences" results/diff_self.txt
+# A genuinely slower "after" run must trip the nonzero-exit regression
+# gate: diff a cheap pathfinder run against the expensive lulesh run.
+./target/release/xplacer demo pathfinder --log-level quiet \
+    --events-out results/pathfinder_events.json > /dev/null
+if ./target/release/xplacer diff results/pathfinder_events.json \
+    results/top_events.json --log-level quiet > results/diff_regressed.txt; then
+    echo "ci: xplacer diff failed to flag a regression" >&2
+    exit 1
+fi
+grep -q "verdict: regressed" results/diff_regressed.txt
+# bench compare explains its gate with the same trace diff via --events.
+cargo run --release -q -p xplacer-bench --bin bench -- compare \
+    crates/bench/baselines/BENCH_smoke.json results/BENCH_smoke.json \
+    --max-regress 0.10 --events results/top_events.json results/top_events.json \
+    > results/bench_compare_events.txt
+grep -q "no differences" results/bench_compare_events.txt
+
 echo "ci: all checks passed"

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench compare <baseline.json> <current.json> [--max-regress 0.10]
+//!               [--events <a_events.json> <b_events.json>]
 //! bench compare-access <baseline.json> <current.json> [--max-regress 0.20]
 //! ```
 //!
@@ -9,6 +10,10 @@
 //! `reproduce_all`: the deterministic metrics (simulated_ns, faults,
 //! migrations, bytes_moved) may each grow at most `--max-regress`
 //! (relative, default 10%); wall-clock time is reported but never gates.
+//! With `--events`, two attributed event traces (`--events-out`
+//! artifacts) are additionally diffed per kernel/allocation so a tripped
+//! gate comes with an explanation of *what* moved — the trace diff is
+//! informational only and never changes the exit code.
 //!
 //! `compare-access` diffs two `BENCH_access_path.json` documents written
 //! by the `access_path` microbenchmark: the bulk-vs-per-word speedup
@@ -21,9 +26,12 @@ use std::process::ExitCode;
 
 use xplacer_bench::access_path::{compare_access, render_access_compare, AccessPathRecord};
 use xplacer_bench::bench_json::{compare, render_compare, BenchRecord};
+use xplacer_obs::diff::{diff, RunDigest, DEFAULT_THRESHOLD};
+use xplacer_obs::Json;
 
 fn usage() -> &'static str {
-    "usage: bench compare <baseline.json> <current.json> [--max-regress 0.10]\n\
+    "usage: bench compare <baseline.json> <current.json> [--max-regress 0.10] \
+     [--events <a_events.json> <b_events.json>]\n\
     \x20      bench compare-access <baseline.json> <current.json> [--max-regress 0.20]"
 }
 
@@ -31,9 +39,18 @@ fn read_text(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn parse_args(args: &[String], default_regress: f64) -> Result<(String, String, f64), String> {
+struct CompareArgs {
+    baseline: String,
+    current: String,
+    max_regress: f64,
+    /// Optional pair of `--events-out` traces to diff alongside.
+    events: Option<(String, String)>,
+}
+
+fn parse_args(args: &[String], default_regress: f64) -> Result<CompareArgs, String> {
     let mut paths = Vec::new();
     let mut max_regress = default_regress;
+    let mut events = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -47,6 +64,13 @@ fn parse_args(args: &[String], default_regress: f64) -> Result<(String, String, 
                 }
                 i += 1;
             }
+            "--events" => {
+                let (Some(a), Some(b)) = (args.get(i + 1), args.get(i + 2)) else {
+                    return Err("--events needs two trace files: --events <a.json> <b.json>".into());
+                };
+                events = Some((a.clone(), b.clone()));
+                i += 2;
+            }
             other if !other.starts_with("--") => paths.push(other.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -55,34 +79,59 @@ fn parse_args(args: &[String], default_regress: f64) -> Result<(String, String, 
     let [baseline, current] = paths.as_slice() else {
         return Err(usage().to_string());
     };
-    Ok((baseline.clone(), current.clone(), max_regress))
+    Ok(CompareArgs {
+        baseline: baseline.clone(),
+        current: current.clone(),
+        max_regress,
+        events,
+    })
+}
+
+/// Diff two attributed event traces and print the per-kernel /
+/// per-allocation breakdown. Informational: failures here are reported as
+/// errors (exit 2), but the diff verdict itself never gates.
+fn explain_with_events(a_path: &str, b_path: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<RunDigest, String> {
+        let doc = Json::parse(&read_text(path)?).map_err(|e| format!("{path}: {e}"))?;
+        RunDigest::from_json(&doc, path).map_err(|e| format!("{path}: {e}"))
+    };
+    let d = diff(load(a_path)?, load(b_path)?, DEFAULT_THRESHOLD)?;
+    print!("\n{}", d.render(10));
+    Ok(())
 }
 
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("compare") => {
-            let (bp, cp, max_regress) = parse_args(&args[1..], 0.10)?;
-            let baseline =
-                BenchRecord::parse(&read_text(&bp)?).map_err(|e| format!("{bp}: {e}"))?;
-            let current = BenchRecord::parse(&read_text(&cp)?).map_err(|e| format!("{cp}: {e}"))?;
-            let deltas = compare(&baseline, &current, max_regress);
+            let cmp = parse_args(&args[1..], 0.10)?;
+            let baseline = BenchRecord::parse(&read_text(&cmp.baseline)?)
+                .map_err(|e| format!("{}: {e}", cmp.baseline))?;
+            let current = BenchRecord::parse(&read_text(&cmp.current)?)
+                .map_err(|e| format!("{}: {e}", cmp.current))?;
+            let deltas = compare(&baseline, &current, cmp.max_regress);
             print!(
                 "{}",
-                render_compare(&baseline, &current, &deltas, max_regress)
+                render_compare(&baseline, &current, &deltas, cmp.max_regress)
             );
+            if let Some((a, b)) = &cmp.events {
+                explain_with_events(a, b)?;
+            }
             Ok(deltas.iter().any(|d| d.regressed))
         }
         Some("compare-access") => {
-            let (bp, cp, max_regress) = parse_args(&args[1..], 0.20)?;
-            let baseline =
-                AccessPathRecord::parse(&read_text(&bp)?).map_err(|e| format!("{bp}: {e}"))?;
-            let current =
-                AccessPathRecord::parse(&read_text(&cp)?).map_err(|e| format!("{cp}: {e}"))?;
-            let delta = compare_access(&baseline, &current, max_regress);
+            let cmp = parse_args(&args[1..], 0.20)?;
+            if cmp.events.is_some() {
+                return Err("--events applies to `compare`, not `compare-access`".into());
+            }
+            let baseline = AccessPathRecord::parse(&read_text(&cmp.baseline)?)
+                .map_err(|e| format!("{}: {e}", cmp.baseline))?;
+            let current = AccessPathRecord::parse(&read_text(&cmp.current)?)
+                .map_err(|e| format!("{}: {e}", cmp.current))?;
+            let delta = compare_access(&baseline, &current, cmp.max_regress);
             print!(
                 "{}",
-                render_access_compare(&baseline, &current, &delta, max_regress)
+                render_access_compare(&baseline, &current, &delta, cmp.max_regress)
             );
             Ok(delta.failed())
         }

@@ -95,6 +95,49 @@ pub enum Event {
 }
 
 impl Event {
+    /// The `[start_ns, end_ns]` interval of a span event (kernel, memcpy,
+    /// prefetch); `None` for point events, which are located solely by the
+    /// [`TimedEvent`] stamp. Dependency-DAG consumers use this to place
+    /// stream-resident work without re-deriving spans from begin/end pairs.
+    pub fn span(&self) -> Option<(f64, f64)> {
+        match self {
+            Event::Memcpy {
+                start_ns, end_ns, ..
+            }
+            | Event::Prefetch {
+                start_ns, end_ns, ..
+            }
+            | Event::KernelEnd {
+                start_ns, end_ns, ..
+            } => Some((*start_ns, *end_ns)),
+            _ => None,
+        }
+    }
+
+    /// The stream the event itself executed on, when the event carries one
+    /// (asynchronous spans); point events inherit their causing context's
+    /// stream ([`AttrCtx::stream`]).
+    pub fn stream(&self) -> Option<StreamId> {
+        match self {
+            Event::Memcpy { stream, .. }
+            | Event::Prefetch { stream, .. }
+            | Event::KernelEnd { stream, .. } => Some(*stream),
+            _ => None,
+        }
+    }
+
+    /// The managed page the event concerns, for the fault → migration →
+    /// access causality chain (`None` for range- or span-level events).
+    pub fn page(&self) -> Option<u64> {
+        match self {
+            Event::PageFault { page, .. }
+            | Event::Migration { page, .. }
+            | Event::ReadDup { page, .. }
+            | Event::Invalidate { page, .. } => Some(*page),
+            _ => None,
+        }
+    }
+
     /// Stable lowercase tag for grouping and serialization.
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -169,6 +212,15 @@ pub struct TimedEvent {
     /// Who caused the event.
     pub ctx: AttrCtx,
     pub event: Event,
+}
+
+impl TimedEvent {
+    /// The stream this event's work executed on: the span's own stream for
+    /// asynchronous span events, the causing context's stream otherwise.
+    /// This is the timeline key dependency-DAG builders order events by.
+    pub fn effective_stream(&self) -> StreamId {
+        self.event.stream().unwrap_or(self.ctx.stream)
+    }
 }
 
 /// Bounded ring-buffer recorder for the event stream. Attach it to a
@@ -355,5 +407,45 @@ mod tests {
             bytes: 4096,
         };
         assert_eq!(e.kind_name(), "migration");
+    }
+
+    #[test]
+    fn dag_breadcrumbs_expose_span_stream_and_page() {
+        let k = Event::KernelEnd {
+            name: "k".into(),
+            stream: StreamId(3),
+            start_ns: 10.0,
+            end_ns: 25.0,
+        };
+        assert_eq!(k.span(), Some((10.0, 25.0)));
+        assert_eq!(k.stream(), Some(StreamId(3)));
+        assert_eq!(k.page(), None);
+
+        let f = Event::PageFault {
+            dev: Device::GPU0,
+            page: 7,
+            write: true,
+        };
+        assert_eq!(f.span(), None);
+        assert_eq!(f.stream(), None);
+        assert_eq!(f.page(), Some(7));
+
+        let te = TimedEvent {
+            t_ns: 1.0,
+            cost_ns: 0.0,
+            ctx: AttrCtx {
+                stream: StreamId(9),
+                ..AttrCtx::host()
+            },
+            event: f,
+        };
+        assert_eq!(te.effective_stream(), StreamId(9));
+        let te_span = TimedEvent {
+            t_ns: 25.0,
+            cost_ns: 15.0,
+            ctx: AttrCtx::host(),
+            event: k,
+        };
+        assert_eq!(te_span.effective_stream(), StreamId(3));
     }
 }

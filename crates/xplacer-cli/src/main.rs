@@ -50,8 +50,8 @@ use xplacer_lang::unparse::unparse;
 use xplacer_obs::flamegraph::folded_stacks;
 use xplacer_obs::timeseries::timeseries_json;
 use xplacer_obs::{
-    chrome_trace_with_series, events_from_json, events_json, metrics_report, replay, DashOpts,
-    EventTrace, HeatmapRecorder, Json, ProfileReport, Telemetry, TelemetryConfig,
+    chrome_trace_with_series, diff, events_json, metrics_report, replay, BlameReport, DashOpts,
+    EventTrace, HeatmapRecorder, Json, ProfileReport, RunDigest, Telemetry, TelemetryConfig,
 };
 use xplacer_workloads::register_names;
 
@@ -62,34 +62,40 @@ const PROFILE_RING_CAPACITY: usize = 1 << 21;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("xplacer: {msg}");
-            ExitCode::FAILURE
+            // Usage/IO errors exit 2, so CI can tell them apart from the
+            // deliberate exit-1 `diff` regression gate (bench convention).
+            ExitCode::from(2)
         }
     }
 }
 
 fn usage() -> String {
-    "usage: xplacer <instrument|run|analyze|advise|demo|profile|top|platforms> [args]\n\
+    "usage: xplacer <instrument|run|analyze|advise|demo|profile|top|blame|diff|platforms> [args]\n\
      try `xplacer demo lulesh`, `xplacer profile pathfinder`, `xplacer top lulesh`, \
+     `xplacer blame lulesh`, `xplacer diff a.json b.json`, \
      or `xplacer analyze examples/mini/alternating.cu`"
         .to_string()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
     let rest = &args[1..];
+    let ok = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
-        "instrument" => cmd_instrument(rest),
-        "run" => cmd_run(rest, false),
-        "analyze" => cmd_run(rest, true),
-        "advise" => cmd_advise(rest),
-        "demo" => cmd_demo(rest),
-        "profile" => cmd_profile(rest),
-        "top" => cmd_top(rest),
+        "instrument" => ok(cmd_instrument(rest)),
+        "run" => ok(cmd_run(rest, false)),
+        "analyze" => ok(cmd_run(rest, true)),
+        "advise" => ok(cmd_advise(rest)),
+        "demo" => ok(cmd_demo(rest)),
+        "profile" => ok(cmd_profile(rest)),
+        "top" => ok(cmd_top(rest)),
+        "blame" => ok(cmd_blame(rest)),
+        "diff" => cmd_diff(rest),
         "platforms" => {
             for pf in platform::all_platforms() {
                 println!(
@@ -101,11 +107,11 @@ fn run(args: &[String]) -> Result<(), String> {
                     pf.gpu_mem_bytes >> 30
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "--help" | "-h" | "help" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -411,6 +417,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--frames",
     "--epoch-ns",
     "--buckets",
+    "--threshold",
 ];
 
 fn read_file(args: &[String]) -> Result<(String, String), String> {
@@ -817,12 +824,7 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
     let timeseries_out = flag_value(args, "--timeseries-out")?.map(str::to_string);
 
     let trace = match flag_value(args, "--replay")? {
-        Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-            events_from_json(&doc).map_err(|e| format!("{path}: {e}"))?
-        }
+        Some(path) => load_trace(path)?,
         None => record_trace_live(&ui, args)?,
     };
 
@@ -863,7 +865,7 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
 fn record_trace_live(ui: &Ui, args: &[String]) -> Result<EventTrace, String> {
     let Some(target) = positional(args) else {
         return Err(format!(
-            "top requires a workload ({WORKLOADS}), a .cu file, or --replay <events.json>"
+            "expected a workload ({WORKLOADS}), a .cu file, or --replay <events.json>"
         ));
     };
     let pf = pick_platform(args)?;
@@ -910,15 +912,116 @@ fn record_trace_live(ui: &Ui, args: &[String]) -> Result<EventTrace, String> {
         mt.mean_ns(),
         log.dropped()
     ));
-    Ok(EventTrace {
-        workload: target,
-        platform_name: pf.name.to_string(),
-        page_size: pf.page_size,
-        link_bw: pf.link_bw,
-        elapsed_ns: elapsed,
-        recorded: log.total_recorded(),
-        dropped: log.dropped(),
-        names,
-        events: log.events().cloned().collect(),
-    })
+    Ok(EventTrace::from_recording(
+        &target, &pf, elapsed, &log, names,
+    ))
+}
+
+/// Load and validate a serialized events trace (`--events-out` artifact).
+fn load_trace(path: &str) -> Result<EventTrace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    EventTrace::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `xplacer blame`: critical-path blame analysis. Runs a workload (or
+/// MiniCU program) recording the full attributed stream — or replays an
+/// `--events-out` artifact — reconstructs the dependency DAG, and charges
+/// every nanosecond of elapsed time to a (kernel × allocation ×
+/// event-kind) cell, with a per-allocation what-if ranking of the most
+/// profitable placement fixes. Output is byte-deterministic.
+fn cmd_blame(args: &[String]) -> Result<(), String> {
+    let ui = Ui::parse(args)?;
+    let top = match flag_value(args, "--top")? {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--top expects a number, got `{v}`"))?,
+        None => 10,
+    };
+    let folded_out = flag_value(args, "--folded-out")?.map(str::to_string);
+    let trace = match flag_value(args, "--replay")? {
+        Some(path) => load_trace(path)?,
+        None => record_trace_live(&ui, args)?,
+    };
+    let report = BlameReport::build(&trace);
+
+    if let Some(path) = &folded_out {
+        let text = report.folded();
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        ui.info(&format!(
+            "wrote folded blame stacks to {path} ({} frames; widths are critical-path ns)",
+            text.lines().count()
+        ));
+    }
+    if ui.json {
+        println!("{}", report.to_json().to_string_pretty());
+    }
+    let _ = write!(ui.human(), "{}", report.render(top));
+    Ok(())
+}
+
+/// All positional (non-flag) arguments, skipping flag values.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            out.push(a.clone());
+        }
+    }
+    out
+}
+
+/// `xplacer diff`: compare two runs (two `--events-out` traces or two
+/// `profile --json` reports), aligned by kernel name / allocation label.
+/// Exits 0 on improved/neutral, 1 when the run regressed beyond
+/// `--threshold` (so it doubles as a CI gate), 2 on usage/IO errors.
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let ui = Ui::parse(args)?;
+    let threshold = match flag_value(args, "--threshold")? {
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("--threshold expects a non-negative number, got `{v}`"))?,
+        None => xplacer_obs::diff::DEFAULT_THRESHOLD,
+    };
+    let top = match flag_value(args, "--top")? {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--top expects a number, got `{v}`"))?,
+        None => 10,
+    };
+    let inputs = positionals(args);
+    let [a_path, b_path] = inputs.as_slice() else {
+        return Err(
+            "diff requires exactly two inputs: `xplacer diff <a.json> <b.json>` \
+             (events traces from --events-out, or profile --json reports)"
+                .to_string(),
+        );
+    };
+    let load = |path: &str| -> Result<RunDigest, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        RunDigest::from_json(&doc, path)
+    };
+    let d = diff(load(a_path)?, load(b_path)?, threshold)?;
+
+    if ui.json {
+        println!("{}", d.to_json(top).to_string_pretty());
+    }
+    let _ = write!(ui.human(), "{}", d.render(top));
+    if d.regressed() {
+        ui.info("verdict: regressed — exiting 1 for CI gating");
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }

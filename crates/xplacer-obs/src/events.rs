@@ -276,6 +276,79 @@ pub struct EventTrace {
     pub events: Vec<TimedEvent>,
 }
 
+impl EventTrace {
+    /// Parse a serialized events document, validating stream-order
+    /// monotonicity ([`validate_stream_order`]). This is the canonical
+    /// text → trace entry point for `--replay`, `diff`, and `blame`.
+    pub fn parse(text: &str) -> Result<EventTrace, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        events_from_json(&doc)
+    }
+
+    /// Package a live recording as the same trace `--replay` would parse
+    /// from disk: the machine's platform facts plus the retained stream.
+    pub fn from_recording(
+        workload: &str,
+        platform: &Platform,
+        elapsed_ns: f64,
+        log: &EventLog,
+        names: Vec<(u64, String)>,
+    ) -> EventTrace {
+        EventTrace {
+            workload: workload.to_string(),
+            platform_name: platform.name.to_string(),
+            page_size: platform.page_size,
+            link_bw: platform.link_bw,
+            elapsed_ns,
+            recorded: log.total_recorded(),
+            dropped: log.dropped(),
+            names,
+            events: log.events().cloned().collect(),
+        }
+    }
+}
+
+/// Reject event sequences whose simulated timestamps run backwards within
+/// a stream (or carry non-finite/negative stamps or inverted spans).
+///
+/// The simulator never produces such a stream — each stream's stamps are
+/// non-decreasing by construction — so a violation means the document was
+/// hand-edited, truncated, or spliced from two runs. Catching it here
+/// gives a spanned `event N` error instead of confusing replay output
+/// (buckets silently swallowing out-of-order events) or a bogus blame DAG.
+pub fn validate_stream_order(events: &[TimedEvent]) -> Result<(), String> {
+    let mut last: std::collections::BTreeMap<usize, (f64, usize)> =
+        std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let kind = ev.event.kind_name();
+        if !ev.t_ns.is_finite() || ev.t_ns < 0.0 {
+            return Err(format!(
+                "event {i} (kind `{kind}`): invalid timestamp {} ns",
+                ev.t_ns
+            ));
+        }
+        if let Some((s, e)) = ev.event.span() {
+            if !s.is_finite() || !e.is_finite() || e < s {
+                return Err(format!(
+                    "event {i} (kind `{kind}`): inverted span [{s}, {e}] ns"
+                ));
+            }
+        }
+        let stream = ev.effective_stream().0;
+        if let Some(&(prev_t, prev_i)) = last.get(&stream) {
+            if ev.t_ns < prev_t {
+                return Err(format!(
+                    "event {i} (kind `{kind}`, stream {stream}): timestamp {} ns goes \
+                     backwards past event {prev_i} at {prev_t} ns",
+                    ev.t_ns
+                ));
+            }
+        }
+        last.insert(stream, (ev.t_ns, i));
+    }
+    Ok(())
+}
+
 fn parse_event(j: &Json) -> Result<TimedEvent, String> {
     let field = |k: &str| j.get(k).ok_or_else(|| format!("missing field `{k}`"));
     let num = |k: &str| field(k).and_then(|v| v.as_f64().ok_or(format!("`{k}` not a number")));
@@ -399,6 +472,7 @@ pub fn events_from_json(doc: &Json) -> Result<EventTrace, String> {
         .enumerate()
         .map(|(i, e)| parse_event(e).map_err(|m| format!("event {i}: {m}")))
         .collect::<Result<Vec<_>, _>>()?;
+    validate_stream_order(&events)?;
     Ok(EventTrace {
         workload: doc
             .get("workload")
@@ -562,7 +636,64 @@ mod tests {
     #[test]
     fn schema_mismatch_is_rejected() {
         let mut j = Json::obj();
-        j.set("schema", "xplacer-metrics/1".into());
+        j.set("schema", "xplacer-metrics/2".into());
         assert!(events_from_json(&j).is_err());
+    }
+
+    #[test]
+    fn backwards_timestamps_within_a_stream_are_rejected_with_a_span() {
+        let mut log = EventLog::new();
+        for mut ev in sample_events() {
+            // Rewind the advise stamp behind the alloc on the same stream.
+            if ev.event.kind_name() == "advise" {
+                ev.t_ns = -0.5;
+            }
+            MemHook::on_event(&mut log, &ev);
+        }
+        let doc = events_json(&log, "demo", 1234.5, &platform::intel_pascal(), &[]);
+        let err = EventTrace::parse(&doc.to_string_pretty()).unwrap_err();
+        assert!(
+            err.contains("event 3") && err.contains("advise"),
+            "error must name the offending event: {err}"
+        );
+
+        // Backwards relative to an earlier event (not just negative).
+        let mut log = EventLog::new();
+        for mut ev in sample_events() {
+            if ev.event.kind_name() == "evict" {
+                ev.t_ns = 250.0; // memcpy on the same stream stamped 300.25
+            }
+            MemHook::on_event(&mut log, &ev);
+        }
+        let doc = events_json(&log, "demo", 1234.5, &platform::intel_pascal(), &[]);
+        let err = EventTrace::parse(&doc.to_string_pretty()).unwrap_err();
+        assert!(
+            err.contains("event 5") && err.contains("goes") && err.contains("event 4"),
+            "error must point at both events: {err}"
+        );
+    }
+
+    #[test]
+    fn distinct_streams_are_ordered_independently() {
+        // Stream 2's kernel events interleave with older stream-0 stamps;
+        // that is legal (streams progress independently).
+        assert!(validate_stream_order(&sample_events()).is_ok());
+    }
+
+    #[test]
+    fn inverted_spans_are_rejected() {
+        let ev = TimedEvent {
+            t_ns: 10.0,
+            cost_ns: 5.0,
+            ctx: AttrCtx::host(),
+            event: Event::KernelEnd {
+                name: "k".into(),
+                stream: DEFAULT_STREAM,
+                start_ns: 20.0,
+                end_ns: 10.0,
+            },
+        };
+        let err = validate_stream_order(&[ev]).unwrap_err();
+        assert!(err.contains("inverted span"), "{err}");
     }
 }

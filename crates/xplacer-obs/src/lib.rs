@@ -24,14 +24,23 @@
 //! * [`timeseries`] — streaming per-allocation telemetry bucketed into
 //!   simulated-time epochs with exact-sum hierarchical downsampling;
 //! * [`dashboard`] — the `xplacer top` frame renderer (sparklines,
-//!   bandwidth gauge, hottest allocations, anti-pattern episodes).
+//!   bandwidth gauge, hottest allocations, anti-pattern episodes);
+//! * [`crit_path`] — the causal critical-path blame analyzer behind
+//!   `xplacer blame`: reconstructs the dependency DAG from the attributed
+//!   stream and charges elapsed time to (kernel × allocation × kind) with
+//!   bit-exact conservation plus per-allocation what-if bounds;
+//! * [`diff`] — differential trace analysis behind `xplacer diff`: aligns
+//!   two runs by stable keys and reports added/removed/changed rows with
+//!   deltas and an improved/regressed/neutral verdict.
 //!
 //! Everything is hand-rolled on purpose: the build environment has no
 //! registry access, so the [`json`] module provides the tiny JSON
 //! document model the exporters share.
 
 pub mod chrome_trace;
+pub mod crit_path;
 pub mod dashboard;
+pub mod diff;
 pub mod events;
 pub mod flamegraph;
 pub mod heatmap;
@@ -41,11 +50,13 @@ pub mod profile;
 pub mod timeseries;
 
 pub use chrome_trace::{chrome_trace, chrome_trace_with_series};
+pub use crit_path::{BlameReport, BLAME_SCHEMA};
 pub use dashboard::{render_frame, replay, DashOpts, FrameInfo, ReplayOutcome};
-pub use events::{events_from_json, events_json, EventTrace};
+pub use diff::{diff, RunDigest, TraceDiff, Verdict, DIFF_SCHEMA};
+pub use events::{events_from_json, events_json, validate_stream_order, EventTrace};
 pub use flamegraph::folded_stacks;
 pub use heatmap::HeatmapRecorder;
 pub use json::Json;
-pub use metrics::{metrics_report, stats_json};
+pub use metrics::{metrics_report, stats_json, METRICS_SCHEMA};
 pub use profile::ProfileReport;
 pub use timeseries::{timeseries_json, Sample, Telemetry, TelemetryConfig};

@@ -12,6 +12,12 @@ use xplacer_core::{AllocSummary, Report};
 
 use crate::json::Json;
 
+/// Schema tag of the metrics document. `/2` added the top-level
+/// `events_recorded`/`events_dropped` ring-health fields (they shipped
+/// unversioned at first; the bump lets `xplacer diff` refuse mismatched
+/// inputs by name instead of by missing-field guesswork).
+pub const METRICS_SCHEMA: &str = "xplacer-metrics/2";
+
 /// Serialize every [`Stats`] counter plus the derived totals. Field names
 /// match the struct fields, so a counter read back from the JSON equals
 /// the in-memory value.
@@ -156,7 +162,7 @@ pub fn metrics_report(
     events: Option<&EventLog>,
 ) -> Json {
     let mut j = Json::obj();
-    j.set("schema", "xplacer-metrics/1".into())
+    j.set("schema", METRICS_SCHEMA.into())
         .set("workload", workload.into())
         .set("platform", platform.into())
         .set("elapsed_ns", Json::Num(elapsed_ns))
@@ -229,10 +235,7 @@ mod tests {
         let j = metrics_report("lulesh", "intel_pascal", 1.25e9, &s, &[], None, None);
         let text = j.to_string_pretty();
         let back = Json::parse(&text).unwrap();
-        assert_eq!(
-            back.get("schema").unwrap().as_str(),
-            Some("xplacer-metrics/1")
-        );
+        assert_eq!(back.get("schema").unwrap().as_str(), Some(METRICS_SCHEMA));
         assert_eq!(back.get("workload").unwrap().as_str(), Some("lulesh"));
         assert_eq!(back.get("elapsed_ns").unwrap().as_f64(), Some(1.25e9));
         assert!(back.get("report").is_none(), "no report layer requested");

@@ -15,9 +15,13 @@
 
 use std::collections::BTreeMap;
 
-use hetsim::{Event, EventLog};
+use hetsim::{Event, EventLog, TimedEvent};
 
+use crate::events::EventTrace;
 use crate::json::Json;
+
+/// Schema tag of the profile JSON document.
+pub const PROFILE_SCHEMA: &str = "xplacer-profile/1";
 
 /// Pseudo-kernel name grouping everything that happened in host context.
 pub const HOST_KERNEL: &str = "<host>";
@@ -205,13 +209,36 @@ impl ProfileReport {
         log: &EventLog,
         names: &[(u64, String)],
     ) -> ProfileReport {
+        Self::build_from_events(
+            workload,
+            platform,
+            elapsed_ns,
+            log.events(),
+            log.total_recorded(),
+            log.dropped(),
+            names,
+        )
+    }
+
+    /// Fold an already-materialized event sequence (e.g. a parsed
+    /// [`EventTrace`]) into a profile — same folding as [`Self::build`],
+    /// without requiring a live [`EventLog`].
+    pub fn build_from_events<'a>(
+        workload: &str,
+        platform: &str,
+        elapsed_ns: f64,
+        events: impl IntoIterator<Item = &'a TimedEvent>,
+        events_recorded: u64,
+        events_dropped: u64,
+        names: &[(u64, String)],
+    ) -> ProfileReport {
         // (kernel, alloc) -> breakdown; BTreeMap for deterministic walk.
         let mut cells: BTreeMap<(String, Option<u64>), CostBreakdown> = BTreeMap::new();
         // kernel -> (launches, span_ns)
         let mut spans: BTreeMap<String, (u64, f64)> = BTreeMap::new();
         let mut kernel_launches = 0u64;
 
-        for te in log.events() {
+        for te in events {
             let kernel = te.ctx.kernel_name().unwrap_or(HOST_KERNEL).to_string();
             match &te.event {
                 Event::KernelBegin { .. } => {
@@ -328,9 +355,24 @@ impl ProfileReport {
             allocs,
             totals,
             kernel_launches,
-            events_recorded: log.total_recorded(),
-            events_dropped: log.dropped(),
+            events_recorded,
+            events_dropped,
         }
+    }
+
+    /// Fold a recorded/parsed trace into a profile, using the trace's own
+    /// workload, platform, elapsed time, and allocation names. This is the
+    /// aggregation `xplacer diff` aligns two runs by.
+    pub fn from_trace(trace: &EventTrace) -> ProfileReport {
+        Self::build_from_events(
+            &trace.workload,
+            &trace.platform_name,
+            trace.elapsed_ns,
+            &trace.events,
+            trace.recorded,
+            trace.dropped,
+            &trace.names,
+        )
     }
 
     /// The allocation responsible for the most moved bytes (migrations,
@@ -490,7 +532,7 @@ impl ProfileReport {
             .set("recorded", self.events_recorded.into())
             .set("dropped", self.events_dropped.into());
         let mut j = Json::obj();
-        j.set("schema", "xplacer-profile/1".into())
+        j.set("schema", PROFILE_SCHEMA.into())
             .set("workload", self.workload.as_str().into())
             .set("platform", self.platform.as_str().into())
             .set("elapsed_ns", Json::Num(self.elapsed_ns))

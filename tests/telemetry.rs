@@ -29,7 +29,7 @@ use xplacer_obs::dashboard::{replay, DashOpts, ReplayOutcome};
 use xplacer_obs::events::{events_json, EventTrace};
 use xplacer_obs::timeseries::{timeseries_json, TelemetryConfig};
 use xplacer_obs::{events_from_json, Json};
-use xplacer_workloads::lulesh::{run_lulesh, LuleshConfig, LuleshVariant};
+use xplacer_workloads::lulesh::{run_lulesh, Lulesh, LuleshConfig, LuleshVariant};
 use xplacer_workloads::rodinia::pathfinder::{run_pathfinder, PathfinderConfig, PathfinderVariant};
 
 fn golden_path(name: &str) -> PathBuf {
@@ -159,11 +159,16 @@ fn event_trace_and_timeseries_are_byte_identical_across_runs() {
 
 #[test]
 fn replay_from_exported_json_matches_replay_from_memory() {
+    // Recorded without `run_lulesh`'s untimed-warmup clock reset: a
+    // serialized trace must hold one monotonic clock epoch per stream,
+    // and `EventTrace::parse` now rejects anything else.
     let mut m = Machine::new(platform::intel_pascal());
     let tracer = xplacer_core::attach_tracer(&mut m);
     let log = Rc::new(RefCell::new(EventLog::with_capacity(1 << 21)));
     m.add_hook(log.clone());
-    let _ = run_lulesh(&mut m, LuleshConfig::new(6, 4), LuleshVariant::Baseline);
+    let cfg = LuleshConfig::new(6, 4);
+    let mut l = Lulesh::setup(&mut m, cfg, LuleshVariant::Baseline);
+    l.run(&mut m, cfg.steps, |_, _| {});
     let allocs = xplacer_core::summarize(&tracer.borrow().smt, false);
     let elapsed = m.elapsed_ns();
     let text =
@@ -244,6 +249,102 @@ fn telemetry_totals_match_the_machine_counters() {
         "migrations vs machine counters"
     );
     assert!(totals.bytes_moved > 0);
+}
+
+// ----------------------------------------------------------------------
+// Edge cases
+// ----------------------------------------------------------------------
+
+#[test]
+fn empty_trace_replays_without_panicking_and_reports_zero() {
+    let (trace, _) = record("empty", |_m| {});
+    assert!(trace.events.is_empty(), "no work means no events");
+    let out = replay3(&trace);
+    assert_eq!(out.frames.len(), 3, "frame count is honored even when idle");
+    let totals = *out.telemetry.total();
+    for (name, get) in xplacer_obs::Sample::FIELDS {
+        assert_eq!(get(&totals), 0, "{name} must be zero on an empty trace");
+    }
+    assert!(out.episodes.is_empty(), "no events, no episodes");
+    let json = timeseries_json(
+        &out.telemetry,
+        &trace.workload,
+        &trace.platform_name,
+        &out.episodes,
+    )
+    .to_string_pretty();
+    assert!(
+        Json::parse(&json).is_ok(),
+        "empty-trace timeseries must still serialize"
+    );
+}
+
+#[test]
+fn single_epoch_run_never_downsamples() {
+    // An epoch wider than the whole run: every event lands in bucket 0
+    // without any halving rounds, and that one bucket carries the totals.
+    let (trace, _) = ping_pong_trace();
+    let cfg = TelemetryConfig {
+        epoch_ns: 1e12,
+        max_buckets: 8,
+    };
+    let out = replay(
+        &trace,
+        cfg,
+        OnlineConfig::default(),
+        1,
+        &DashOpts {
+            ascii: true,
+            ..DashOpts::default()
+        },
+    );
+    let t = &out.telemetry;
+    assert_eq!(t.downsamples, 0, "one epoch must never trigger a merge");
+    assert_eq!(t.global().len(), 1, "all events fold into a single bucket");
+    let totals = *t.total();
+    for (name, get) in xplacer_obs::Sample::FIELDS {
+        assert_eq!(
+            get(&t.global()[0]),
+            get(&totals),
+            "{name}: the single bucket must carry the whole run"
+        );
+    }
+}
+
+#[test]
+fn sparkline_folding_to_minimum_buckets_conserves_every_counter() {
+    // The opposite extreme: the smallest legal cap (Telemetry requires
+    // two buckets to merge) over a very fine epoch forces every halving
+    // round the trace can produce, folding the whole run into a
+    // two-cell sparkline.
+    let (trace, _) = lulesh_trace();
+    let cfg = TelemetryConfig {
+        epoch_ns: 64.0,
+        max_buckets: 2,
+    };
+    let out = replay(
+        &trace,
+        cfg,
+        OnlineConfig::default(),
+        1,
+        &DashOpts {
+            ascii: true,
+            ..DashOpts::default()
+        },
+    );
+    let t = &out.telemetry;
+    assert!(
+        t.downsamples > 0,
+        "a 64 ns epoch over a multi-ms run must fold repeatedly"
+    );
+    assert!(t.global().len() <= 2, "cap of 2 leaves at most two buckets");
+    let totals = *t.total();
+    for (name, get) in xplacer_obs::Sample::FIELDS {
+        let sum: u64 = t.global().iter().map(get).sum();
+        assert_eq!(sum, get(&totals), "{name} lost in the fold");
+    }
+    let last = out.frames.last().unwrap();
+    assert!(last.is_ascii(), "fully folded frame must still render");
 }
 
 // ----------------------------------------------------------------------
