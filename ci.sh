@@ -72,4 +72,24 @@ cargo run --release -q -p xplacer-bench --bin bench -- compare \
     > results/bench_compare_events.txt
 grep -q "no differences" results/bench_compare_events.txt
 
+echo "==> xplacer optimize smoke + jobs-determinism + regression gate"
+# The closed-loop optimizer must (a) find a plan strictly below the
+# unhinted lulesh baseline, (b) produce byte-identical reports for any
+# --jobs value (the ordered-merge pool contract, exercised through the
+# real binary), and (c) match the committed golden and stay within the
+# bench regression budget.
+./target/release/xplacer optimize lulesh --jobs 2 --smoke --log-level quiet \
+    --bench-out results/BENCH_optimize.json > results/optimize_j2.txt
+./target/release/xplacer optimize lulesh --jobs 1 --smoke --log-level quiet \
+    > results/optimize_j1.txt
+./target/release/xplacer optimize lulesh --jobs 8 --smoke --log-level quiet \
+    > results/optimize_j8.txt
+cmp results/optimize_j1.txt results/optimize_j2.txt
+cmp results/optimize_j1.txt results/optimize_j8.txt
+cmp results/optimize_j2.txt tests/golden/optimize_lulesh.golden
+grep -q "winner:" results/optimize_j2.txt
+cargo run --release -q -p xplacer-bench --bin bench -- compare \
+    crates/bench/baselines/BENCH_optimize.json results/BENCH_optimize.json \
+    --max-regress 0.10
+
 echo "ci: all checks passed"

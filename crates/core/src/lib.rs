@@ -34,6 +34,8 @@ pub mod accessmap;
 pub mod antipattern;
 pub mod diagnostic;
 pub mod flags;
+pub mod par;
+pub mod plan;
 pub mod report;
 pub mod smt;
 pub mod suggest;
@@ -45,6 +47,8 @@ pub use diagnostic::{
     format_fig4, summarize, summarize_entry, to_csv, trace_collect, trace_print, AllocSummary,
 };
 pub use flags::AccessFlags;
+pub use par::{run_ordered, PoolError};
+pub use plan::{enumerate_candidates, Plan, PlanAction, PlanItem};
 pub use report::Report;
 pub use smt::{Smt, SmtEntry, WORD_BYTES};
 pub use suggest::{suggest, suggest_for, Action, Suggestion};

@@ -1,0 +1,186 @@
+//! A hand-rolled fixed-worker thread pool with deterministic ordered
+//! merge — the evaluation engine behind `xplacer optimize`.
+//!
+//! Workers pull jobs off a shared queue, so load-balancing is dynamic,
+//! but results are written into a slot indexed by *submission order*:
+//! the output of [`run_ordered`] is bit-identical for any worker count,
+//! which is what makes parallel candidate evaluation testable (and lets
+//! CI `cmp` optimizer output across `--jobs 1/2/8`).
+//!
+//! Panic safety: a panicking job does not poison, deadlock, or abort the
+//! process. The pool drains remaining queued work, joins every worker,
+//! and surfaces the first panic as a [`PoolError`] naming the failed job
+//! — callers turn that into a spanned diagnostic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A job failed (panicked) inside the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Submission index of the failing job.
+    pub job: usize,
+    /// Rendered panic payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked on job #{}: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` over every input on `jobs` fixed workers and return the
+/// results in submission order.
+///
+/// * `jobs` is clamped to `1..=inputs.len()`; `jobs == 1` still goes
+///   through the same code path, so single- and multi-worker runs are
+///   observably identical.
+/// * If any job panics, the queue is abandoned (jobs not yet started are
+///   dropped), every worker is joined, and the first panic observed is
+///   returned as a [`PoolError`]. No result vector is returned in that
+///   case — partial output is never handed to the caller.
+pub fn run_ordered<T, R, F>(jobs: usize, inputs: Vec<T>, f: F) -> Result<Vec<R>, PoolError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let jobs = jobs.clamp(1, n);
+    let queue = Mutex::new(inputs.into_iter().enumerate());
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let failed: Mutex<Option<PoolError>> = Mutex::new(None);
+    let abandon = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                if abandon.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Pull the next job; the lock covers only the dequeue, so
+                // workers never serialize on the work itself.
+                let next = queue.lock().map(|mut q| q.next()).unwrap_or(None);
+                let Some((i, input)) = next else { break };
+                match catch_unwind(AssertUnwindSafe(|| f(i, input))) {
+                    Ok(r) => {
+                        if let Ok(mut slots) = slots.lock() {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(p) => {
+                        abandon.store(true, Ordering::Relaxed);
+                        if let Ok(mut failed) = failed.lock() {
+                            failed.get_or_insert(PoolError {
+                                job: i,
+                                message: panic_text(p),
+                            });
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = failed.into_inner().unwrap_or(None) {
+        return Err(e);
+    }
+    let slots = slots.into_inner().expect("no panics held the slot lock");
+    // Every slot is filled: the scope joined all workers and none failed.
+    Ok(slots
+        .into_iter()
+        .map(|r| r.expect("pool slot filled"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let out = run_ordered(4, inputs, |i, x| {
+            // Stagger so completion order differs from submission order.
+            if i % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 2
+        })
+        .unwrap();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn output_identical_across_worker_counts() {
+        let run = |jobs| {
+            run_ordered(jobs, (0..64u64).collect(), |i, x| {
+                format!("{i}:{}", x.wrapping_mul(0x9e3779b9))
+            })
+            .unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        assert_eq!(one, run(64));
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let out: Vec<u32> = run_ordered(8, Vec::<u32>::new(), |_, x| x).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn oversized_job_count_is_clamped() {
+        let out = run_ordered(1000, vec![1, 2, 3], |_, x| x + 1).unwrap();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn panicking_worker_fails_the_run_without_hanging() {
+        let r: Result<Vec<u32>, _> = run_ordered(4, (0..32).collect(), |i, x| {
+            if i == 7 {
+                panic!("boom at {i}");
+            }
+            x
+        });
+        let e = r.expect_err("panic must surface as PoolError");
+        assert_eq!(e.job, 7);
+        assert!(e.message.contains("boom at 7"), "{e}");
+        assert!(e.to_string().contains("job #7"), "{e}");
+    }
+
+    #[test]
+    fn panic_abandons_remaining_queue() {
+        use std::sync::atomic::AtomicUsize;
+        let started = AtomicUsize::new(0);
+        let r: Result<Vec<()>, _> = run_ordered(1, (0..1000).collect::<Vec<u32>>(), |i, _| {
+            started.fetch_add(1, Ordering::Relaxed);
+            if i == 2 {
+                panic!("early");
+            }
+        });
+        assert!(r.is_err());
+        // Single worker: jobs 0,1,2 ran, the rest were abandoned.
+        assert_eq!(started.load(Ordering::Relaxed), 3);
+    }
+}

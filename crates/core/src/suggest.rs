@@ -63,17 +63,17 @@ impl std::fmt::Display for Suggestion {
 
 /// Per-allocation access profile the heuristics run on.
 #[derive(Debug, Default, Clone, Copy)]
-struct Profile {
-    cpu_writes: usize,
-    gpu_writes: usize,
-    cpu_reads: usize,
-    gpu_reads: usize,
-    cross_reads: usize, // C>G + G>C words
-    alternating: usize,
-    touched: usize,
+pub(crate) struct Profile {
+    pub(crate) cpu_writes: usize,
+    pub(crate) gpu_writes: usize,
+    pub(crate) cpu_reads: usize,
+    pub(crate) gpu_reads: usize,
+    pub(crate) cross_reads: usize, // C>G + G>C words
+    pub(crate) alternating: usize,
+    pub(crate) touched: usize,
 }
 
-fn profile(e: &SmtEntry) -> Profile {
+pub(crate) fn profile(e: &SmtEntry) -> Profile {
     let mut p = Profile::default();
     for w in &e.shadow {
         if w.get(AccessFlags::CPU_WROTE) {
@@ -106,6 +106,12 @@ pub fn suggest(smt: &Smt) -> Vec<Suggestion> {
     let mut out = Vec::new();
     for e in smt.iter() {
         if e.kind != AllocKind::Managed {
+            continue;
+        }
+        // Freed-but-not-yet-purged entries keep their shadow for the
+        // epoch's diagnostics, but advice for a dead pointer is useless
+        // (and `apply` on its recycled base would hint the wrong data).
+        if !e.live {
             continue;
         }
         let p = profile(e);
@@ -356,6 +362,63 @@ mod tests {
             nv2[0].action,
             Action::Advise(MemAdvise::SetPreferredLocation(GPU))
         );
+    }
+
+    #[test]
+    fn empty_trace_yields_no_suggestions() {
+        let t = Tracer::new();
+        assert!(suggest(&t.smt).is_empty());
+        assert!(suggest_for(&t.smt, &hetsim::platform::intel_pascal()).is_empty());
+    }
+
+    #[test]
+    fn device_only_allocations_are_never_advised() {
+        // cudaMalloc memory is not managed: cudaMemAdvise does not apply,
+        // even when the access pattern would otherwise scream ReadMostly.
+        let mut t = Tracer::new();
+        t.on_alloc(0x10_0000, 64, AllocKind::Device(0));
+        t.on_alloc(0x20_0000, 64, AllocKind::Device(1));
+        for i in 0..16u64 {
+            t.trace_r(GPU, 0x10_0000 + i * 4, 4);
+            t.trace_r(Device::Gpu(1), 0x20_0000 + i * 4, 4);
+        }
+        assert!(suggest(&t.smt).is_empty());
+    }
+
+    #[test]
+    fn read_only_everywhere_block_is_read_mostly_with_zero_writes() {
+        // Every word read by both sides, none written anywhere: the
+        // writes==0 branch must win before any writer-ratio heuristic.
+        let mut t = tracer_with(0x10_0000, 32);
+        for i in 0..32u64 {
+            t.trace_r(Device::Cpu, 0x10_0000 + i * 4, 4);
+            t.trace_r(GPU, 0x10_0000 + i * 4, 4);
+            t.trace_r(GPU, 0x10_0000 + i * 4, 4); // repeat reads are idempotent
+        }
+        let s = one(&t);
+        assert_eq!(s.action, Action::Advise(MemAdvise::SetReadMostly));
+        assert!(s.rationale.contains("read-only"), "{}", s.rationale);
+    }
+
+    #[test]
+    fn allocations_freed_before_epoch_end_are_skipped() {
+        let mut t = tracer_with(0x10_0000, 16);
+        t.on_alloc(0x20_0000, 64, AllocKind::Managed);
+        for i in 0..16u64 {
+            t.trace_w(GPU, 0x10_0000 + i * 4, 4);
+            t.trace_w(GPU, 0x20_0000 + i * 4, 4);
+        }
+        // Free the first allocation mid-epoch: its shadow survives until
+        // purge (for diagnostics) but the advisor must not act on it.
+        t.on_free(0x10_0000);
+        let v = suggest(&t.smt);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].base, 0x20_0000);
+        // After the purge the result is the same.
+        t.smt.purge_dead();
+        let v = suggest(&t.smt);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].base, 0x20_0000);
     }
 
     #[test]

@@ -81,6 +81,17 @@ pub struct Platform {
     pub async_pageable_copy_serializes: bool,
 }
 
+// `Machine` is deliberately not `Send` (it shares hooks via
+// `Rc<RefCell<..>>`), so parallel evaluation hands each worker thread a
+// `Platform` and lets it build its own machine. That contract only works
+// while `Platform` stays plain data; this assert turns a field that
+// breaks it into a compile error here instead of a confusing bound
+// failure in `xplacer-optimize`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Platform>()
+};
+
 impl Platform {
     /// Time to move `bytes` across the host/GPU interconnect.
     #[inline]

@@ -73,9 +73,10 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: xplacer <instrument|run|analyze|advise|demo|profile|top|blame|diff|platforms> [args]\n\
+    "usage: xplacer <instrument|run|analyze|advise|optimize|demo|profile|top|blame|diff|platforms> [args]\n\
      try `xplacer demo lulesh`, `xplacer profile pathfinder`, `xplacer top lulesh`, \
      `xplacer blame lulesh`, `xplacer diff a.json b.json`, \
+     `xplacer optimize lulesh --jobs 4`, \
      or `xplacer analyze examples/mini/alternating.cu`"
         .to_string()
 }
@@ -91,6 +92,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "run" => ok(cmd_run(rest, false)),
         "analyze" => ok(cmd_run(rest, true)),
         "advise" => ok(cmd_advise(rest)),
+        "optimize" => ok(cmd_optimize(rest)),
         "demo" => ok(cmd_demo(rest)),
         "profile" => ok(cmd_profile(rest)),
         "top" => ok(cmd_top(rest)),
@@ -418,6 +420,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--epoch-ns",
     "--buckets",
     "--threshold",
+    "--jobs",
+    "--beam",
+    "--out",
+    "--bench-out",
 ];
 
 fn read_file(args: &[String]) -> Result<(String, String), String> {
@@ -553,7 +559,7 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-const WORKLOADS: &str = "lulesh | sw | pathfinder | backprop | gaussian | lud | nn | cfd";
+const WORKLOADS: &str = xplacer_workloads::WORKLOADS;
 
 /// Run one built-in workload on `m` with `tracer` attached, registering
 /// its allocation names. Returns the check value and the name table.
@@ -562,85 +568,7 @@ fn run_builtin_workload(
     tracer: &Rc<RefCell<Tracer>>,
     which: &str,
 ) -> Result<(f64, Vec<(hetsim::Addr, String)>), String> {
-    use xplacer_workloads as w;
-    let names: Vec<(hetsim::Addr, String)>;
-    let check = match which {
-        "lulesh" => {
-            let cfg = w::lulesh::LuleshConfig::new(8, 3);
-            let mut l = w::lulesh::Lulesh::setup(m, cfg, w::lulesh::LuleshVariant::Baseline);
-            names = l.names();
-            register_names(tracer, &names);
-            l.run(m, cfg.steps, |_, _| {});
-            l.check(m)
-        }
-        "sw" | "smith-waterman" => {
-            let cfg = w::smith_waterman::SwConfig::square(128);
-            let mut s = w::smith_waterman::SmithWaterman::setup(
-                m,
-                cfg,
-                w::smith_waterman::SwVariant::Baseline,
-            );
-            names = s.names();
-            register_names(tracer, &names);
-            s.run(m, |_, _| {});
-            s.peek_score(m) as f64
-        }
-        "pathfinder" => {
-            let cfg = w::rodinia::pathfinder::PathfinderConfig::new(512, 101, 20);
-            let mut p = w::rodinia::pathfinder::Pathfinder::setup(
-                m,
-                cfg,
-                w::rodinia::pathfinder::PathfinderVariant::Baseline,
-            );
-            names = p.names();
-            register_names(tracer, &names);
-            p.run(m, |_, _| {});
-            p.check(m)
-        }
-        "backprop" => {
-            let mut b = w::rodinia::backprop::Backprop::setup(
-                m,
-                w::rodinia::backprop::BackpropConfig::new(1024),
-            );
-            names = b.names();
-            register_names(tracer, &names);
-            b.run(m);
-            b.check()
-        }
-        "gaussian" => {
-            let mut g = w::rodinia::gaussian::Gaussian::setup(
-                m,
-                w::rodinia::gaussian::GaussianConfig::new(48),
-            );
-            names = g.names();
-            register_names(tracer, &names);
-            g.run(m);
-            g.check()
-        }
-        "lud" => {
-            let mut l = w::rodinia::lud::Lud::setup(m, w::rodinia::lud::LudConfig::new(48));
-            names = l.names();
-            register_names(tracer, &names);
-            l.run(m, |_, _| {});
-            l.check(m)
-        }
-        "nn" => {
-            let mut n = w::rodinia::nn::Nn::setup(m, w::rodinia::nn::NnConfig::new(2048));
-            names = n.names();
-            register_names(tracer, &names);
-            n.run(m);
-            n.nearest().1 as f64
-        }
-        "cfd" => {
-            let mut c = w::rodinia::cfd::Cfd::setup(m, w::rodinia::cfd::CfdConfig::new(1024, 8));
-            names = c.names();
-            register_names(tracer, &names);
-            c.run(m);
-            c.check()
-        }
-        other => return Err(format!("unknown workload `{other}` (expected {WORKLOADS})")),
-    };
-    Ok((check, names))
+    xplacer_workloads::run_workload(m, which, |_, names| register_names(tracer, names))
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
@@ -784,6 +712,69 @@ fn positional(args: &[String]) -> Option<String> {
         }
     }
     None
+}
+
+/// `xplacer optimize`: the closed loop. Trace a baseline, enumerate
+/// candidate placement plans from the shadow state, beam-search plan
+/// combinations on the deterministic evaluation pool, report the winner.
+/// Output is byte-identical for any `--jobs` value.
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let Some(target) = positional(args) else {
+        return Err(format!(
+            "optimize requires a workload ({WORKLOADS}) or a .cu file"
+        ));
+    };
+    let pf = pick_platform(args)?;
+    let ui = Ui::parse(args)?;
+    let parse_num = |flag: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, flag)? {
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("{flag} expects a number >= 1, got `{v}`")),
+            None => Ok(default),
+        }
+    };
+
+    let mut cfg = xplacer_optimize::OptimizeConfig::new(pf.clone());
+    cfg.jobs = parse_num("--jobs", 1)?;
+    cfg.beam = parse_num("--beam", 2)?;
+    cfg.smoke = args.iter().any(|a| a == "--smoke");
+
+    let opt_target = if target.ends_with(".cu") {
+        let src =
+            std::fs::read_to_string(&target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        xplacer_optimize::Target::Program {
+            name: target.clone(),
+            source: src,
+        }
+    } else {
+        xplacer_optimize::Target::Workload(target.clone())
+    };
+
+    ui.debug(&format!(
+        "optimizing {target} on {} with {} workers",
+        pf.name, cfg.jobs
+    ));
+    let report = xplacer_optimize::optimize(&opt_target, &cfg)?;
+
+    let doc = report.to_json().to_string_pretty();
+    if ui.json {
+        println!("{doc}");
+    } else {
+        let _ = write!(ui.human(), "{}", report.render());
+    }
+    if let Some(path) = flag_value(args, "--out")? {
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        ui.info(&format!("wrote optimizer report to {path}"));
+    }
+    if let Some(path) = flag_value(args, "--bench-out")? {
+        let rec = report.bench_record().to_json().to_string_pretty();
+        std::fs::write(path, rec).map_err(|e| format!("cannot write {path}: {e}"))?;
+        ui.info(&format!("wrote bench record to {path}"));
+    }
+    Ok(())
 }
 
 /// `xplacer top`: the time-series telemetry dashboard. Live mode runs a

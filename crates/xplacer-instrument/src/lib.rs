@@ -19,6 +19,8 @@
 //! The instrumented AST unparses to ordinary MiniCU which the
 //! `xplacer-interp` crate executes against the simulator + runtime.
 
+pub mod placement;
+
 use std::collections::{HashMap, HashSet};
 
 use xplacer_lang::ast::*;

@@ -159,6 +159,12 @@ fn digest_of_profile(p: &ProfileReport, source: &str, schema: &str) -> RunDigest
 }
 
 impl RunDigest {
+    /// Digest an in-memory profile report directly, without a JSON
+    /// round-trip — the evidence column of the optimizer's report.
+    pub fn from_profile(p: &ProfileReport, source: &str) -> RunDigest {
+        digest_of_profile(p, source, PROFILE_SCHEMA)
+    }
+
     /// Digest a parsed JSON document, dispatching on its `schema` field.
     /// Events documents are folded through [`ProfileReport::from_trace`];
     /// profile documents are read directly. Unknown or missing schemas

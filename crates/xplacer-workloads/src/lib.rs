@@ -16,11 +16,13 @@
 //! Every workload computes a real result that is verified against a
 //! plain-Rust reference, and is identical across its variants.
 
+pub mod driver;
 pub mod lulesh;
 pub mod result;
 pub mod rodinia;
 pub mod smith_waterman;
 
+pub use driver::{run_workload, WORKLOADS, WORKLOAD_NAMES};
 pub use result::RunResult;
 
 use std::cell::RefCell;

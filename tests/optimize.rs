@@ -1,0 +1,237 @@
+//! Closed-loop optimizer integration tests (DESIGN.md §17).
+//!
+//! Three contracts are pinned here:
+//!
+//! * **Determinism** — the full optimizer report (rendered text and JSON)
+//!   is byte-identical for `--jobs 1/2/8` and across repeated runs, and
+//!   matches the committed golden under `tests/golden/`.
+//! * **Regression guard** — the winning plan for `lulesh` is never worse
+//!   than the unhinted baseline, and with the current cost model it is
+//!   strictly better.
+//! * **Plan application is results-neutral** — applying any
+//!   optimizer-enumerated plan (singly or combined) never changes what a
+//!   target computes: workload self-checks and final memory bytes, and
+//!   generated-program exit/stdout/memory, all match the un-advised run.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use hetsim::platform;
+use proptest::{Strategy, TestRng};
+use xplacer_conformance::generator::ArbProgram;
+use xplacer_conformance::{conformance_cases, snapshot};
+use xplacer_core::Plan;
+use xplacer_lang::unparse::unparse;
+use xplacer_optimize::eval::{eval_program, eval_workload};
+use xplacer_optimize::{optimize, OptimizeConfig, Target};
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("golden/{name}"))
+}
+
+fn smoke_cfg(jobs: usize) -> OptimizeConfig {
+    let mut cfg = OptimizeConfig::new(platform::intel_pascal());
+    cfg.smoke = true;
+    cfg.jobs = jobs;
+    cfg
+}
+
+const PROGRAM: &str = "int main() {\n\
+    int* a;\n\
+    cudaMallocManaged((void**)&a, 256 * sizeof(int));\n\
+    for (int i = 0; i < 256; i++) { a[i] = i; }\n\
+    double_all<<<1, 256>>>(a);\n\
+    int sum = 0;\n\
+    for (int i = 0; i < 256; i++) { sum = sum + a[i]; }\n\
+    printf(\"%d\\n\", sum);\n\
+    return 0;\n\
+}\n\
+__global__ void double_all(int* a) {\n\
+    int i = threadIdx.x;\n\
+    a[i] = a[i] * 2;\n\
+}\n";
+
+// =====================================================================
+// Determinism + golden + lulesh regression guard.
+// =====================================================================
+
+/// The report must not depend on the worker count, and the winning plan
+/// must strictly beat the unhinted lulesh baseline (the paper's headline
+/// claim, closed-loop).
+#[test]
+fn optimize_lulesh_is_jobs_invariant_golden_and_improving() {
+    let target = Target::Workload("lulesh".into());
+    let reports: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&jobs| optimize(&target, &smoke_cfg(jobs)).unwrap())
+        .collect();
+
+    let text = reports[0].render();
+    let json = reports[0].to_json().to_string_pretty();
+    for (i, r) in reports.iter().enumerate().skip(1) {
+        assert_eq!(
+            text,
+            r.render(),
+            "rendered report differs at jobs index {i}"
+        );
+        assert_eq!(
+            json,
+            r.to_json().to_string_pretty(),
+            "json report differs at jobs index {i}"
+        );
+    }
+
+    // Regression guard: never worse, and currently strictly better.
+    let r = &reports[0];
+    assert!(r.winner_ns <= r.baseline_ns, "winner worse than baseline");
+    assert!(
+        r.winner_ns < r.baseline_ns,
+        "expected a strictly improving plan for lulesh"
+    );
+    let rec = r.bench_record();
+    assert_eq!(rec.name, "optimize_lulesh");
+    assert_eq!(rec.simulated_ns.to_bits(), r.winner_ns.to_bits());
+
+    let mut failures = Vec::new();
+    for (name, doc) in [
+        ("optimize_lulesh.golden", &text),
+        ("optimize_lulesh.json.golden", &json),
+    ] {
+        if let Err(e) = snapshot::check_or_bless(&golden_path(name), doc) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+/// Same job count, two runs: still byte-identical (no hidden global
+/// state). Uses a small program target to keep it cheap.
+#[test]
+fn optimize_program_repeat_runs_are_identical() {
+    let target = Target::Program {
+        name: "double_all.cu".into(),
+        source: PROGRAM.into(),
+    };
+    let a = optimize(&target, &smoke_cfg(2)).unwrap();
+    let b = optimize(&target, &smoke_cfg(2)).unwrap();
+    assert_eq!(a.render(), b.render());
+    assert_eq!(
+        a.to_json().to_string_pretty(),
+        b.to_json().to_string_pretty()
+    );
+    assert!(a.winner_ns <= a.baseline_ns);
+}
+
+// =====================================================================
+// Property: applying optimizer plans never changes results.
+// =====================================================================
+
+/// Every candidate plan (and the largest compatible combination) applied
+/// to every built-in workload leaves the self-check value and the final
+/// bytes of every named allocation untouched.
+#[test]
+fn workload_plans_preserve_results_on_all_workloads() {
+    let pf = platform::intel_pascal();
+    let mut candidates_seen = 0usize;
+    for which in xplacer_workloads::WORKLOAD_NAMES {
+        let (base, cands) = eval_workload(which, &pf, &Plan::empty(), true)
+            .unwrap_or_else(|e| panic!("{which}: {e}"));
+        let cands = cands.unwrap();
+        candidates_seen += cands.items.len();
+        let mut combined = Plan::empty();
+        for c in &cands.items {
+            let plan = Plan::empty().with(c.clone());
+            let (out, _) = eval_workload(which, &pf, &plan, false)
+                .unwrap_or_else(|e| panic!("{which} `{}`: {e}", plan.describe()));
+            assert_eq!(
+                base.fingerprint,
+                out.fingerprint,
+                "{which}: plan `{}` changed results",
+                plan.describe()
+            );
+            if combined.allows(c) {
+                combined = combined.with(c.clone());
+            }
+        }
+        if combined.items().len() > 1 {
+            let (out, _) = eval_workload(which, &pf, &combined, false)
+                .unwrap_or_else(|e| panic!("{which} combined: {e}"));
+            assert_eq!(
+                base.fingerprint,
+                out.fingerprint,
+                "{which}: combined plan `{}` changed results",
+                combined.describe()
+            );
+        }
+    }
+    // The managed-memory workloads must actually exercise the property.
+    assert!(candidates_seen > 10, "too few candidates enumerated");
+}
+
+/// The generated-program half of the property: for `conformance_cases()`
+/// random well-typed MiniCU programs, every candidate plan — including
+/// advise/prefetch injections and the split-object rewrite — leaves
+/// exit code, plain stdout, and the final bytes of every allocation
+/// equal to the un-advised run.
+#[test]
+fn generated_program_plans_preserve_results() {
+    let pf = platform::intel_pascal();
+    let cases = conformance_cases();
+    let no_sites = BTreeMap::new();
+    let mut with_candidates = 0u64;
+    let mut plans_checked = 0u64;
+    for i in 0..cases {
+        let mut rng = TestRng::deterministic(&format!("xplacer-optimize-prop-{i}"));
+        let prog = ArbProgram.generate(&mut rng);
+        let src = unparse(&prog);
+        let (base, cands) = eval_program("gen.cu", &src, &pf, &Plan::empty(), &no_sites, true)
+            .unwrap_or_else(|e| panic!("case {i} baseline: {e}\n---- program ----\n{src}"));
+        let cands = cands.unwrap();
+        if cands.items.is_empty() {
+            continue;
+        }
+        with_candidates += 1;
+        let mut combined = Plan::empty();
+        for c in &cands.items {
+            let plan = Plan::empty().with(c.clone());
+            let (out, _) = eval_program("gen.cu", &src, &pf, &plan, &cands.site_of_base, false)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "case {i} plan `{}`: {e}\n---- program ----\n{src}",
+                        plan.describe()
+                    )
+                });
+            assert_eq!(
+                base.fingerprint,
+                out.fingerprint,
+                "case {i}: plan `{}` changed program results\n---- program ----\n{src}",
+                plan.describe()
+            );
+            plans_checked += 1;
+            if combined.allows(c) {
+                combined = combined.with(c.clone());
+            }
+        }
+        if combined.items().len() > 1 {
+            let (out, _) = eval_program("gen.cu", &src, &pf, &combined, &cands.site_of_base, false)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "case {i} combined `{}`: {e}\n---- program ----\n{src}",
+                        combined.describe()
+                    )
+                });
+            assert_eq!(
+                base.fingerprint,
+                out.fingerprint,
+                "case {i}: combined plan `{}` changed program results\n---- program ----\n{src}",
+                combined.describe()
+            );
+            plans_checked += 1;
+        }
+    }
+    assert!(
+        with_candidates * 4 >= cases,
+        "only {with_candidates}/{cases} generated programs were optimizable \
+         ({plans_checked} plans checked) — generator or enumeration drifted"
+    );
+}
