@@ -92,4 +92,29 @@ cargo run --release -q -p xplacer-bench --bin bench -- compare \
     crates/bench/baselines/BENCH_optimize.json results/BENCH_optimize.json \
     --max-regress 0.10
 
+echo "==> xplacer check: buggy corpus gate + clean-workload gate"
+# Every bug-injection program must exit 1 and reproduce its committed
+# golden byte-for-byte through the real binary (table on stdout, then
+# the --json document — the same layout tests/check.rs maintains;
+# regenerate with XPLACER_BLESS=1).
+for f in tests/corpus/buggy/*.cu; do
+    name=$(basename "$f" .cu)
+    # Run from inside the corpus dir so the report's target matches the
+    # golden's bare "<name>.cu".
+    if (cd tests/corpus/buggy && ../../../target/release/xplacer check \
+        "$name.cu" --log-level quiet) > "results/check_$name.txt"; then
+        echo "ci: xplacer check missed the defect in $name" >&2
+        exit 1
+    fi
+    printf -- '---- json ----\n' >> "results/check_$name.txt"
+    (cd tests/corpus/buggy && ../../../target/release/xplacer check \
+        "$name.cu" --json --log-level quiet) \
+        >> "results/check_$name.txt" 2>/dev/null || true
+    cmp "results/check_$name.txt" "tests/corpus/buggy/$name.check.golden"
+done
+# A clean workload must exit 0 with an empty-findings report.
+./target/release/xplacer check lulesh --log-level quiet \
+    > results/check_lulesh.txt
+grep -q "clean" results/check_lulesh.txt
+
 echo "ci: all checks passed"

@@ -1,0 +1,223 @@
+//! Happens-before race detection with vector clocks.
+//!
+//! Actors are the host (actor 0) and each stream (actor `1 + s`). Edges
+//! come from the operations that order work in CUDA's model:
+//!
+//! - a kernel launch (or async memcpy) *releases* the host clock to its
+//!   stream — everything the host did before the launch happens-before
+//!   the kernel's accesses;
+//! - a blocking completion (synchronous launch, `cudaStreamSynchronize`,
+//!   `cudaDeviceSynchronize`, blocking memcpy) joins the stream's clock
+//!   back into the host.
+//!
+//! Accesses are stamped with their actor's current epoch; two accesses
+//! to the same location race when neither epoch happens-before the
+//! other and at least one is a write (the FastTrack formulation, with a
+//! full read set instead of the read-epoch optimization — clarity over
+//! constant factors at simulation scale).
+
+use crate::shadow::Site;
+
+/// The host actor index. Stream `s` is actor `1 + s`.
+pub const HOST: usize = 0;
+
+/// A scalar timestamp: `clk`-th epoch of `actor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    pub actor: usize,
+    pub clk: u32,
+}
+
+/// Per-actor vector clocks.
+#[derive(Debug, Default)]
+pub struct VectorClocks {
+    clocks: Vec<Vec<u32>>,
+}
+
+impl VectorClocks {
+    pub fn new() -> Self {
+        VectorClocks {
+            clocks: vec![vec![1]],
+        }
+    }
+
+    fn ensure(&mut self, actor: usize) {
+        let n = (actor + 1).max(self.clocks.len());
+        for c in &mut self.clocks {
+            if c.len() < n {
+                c.resize(n, 0);
+            }
+        }
+        while self.clocks.len() < n {
+            // Epochs are 1-based: component `i` of everyone else's clock
+            // starts at 0 ("never heard from actor i"), strictly below
+            // actor i's first epoch.
+            let i = self.clocks.len();
+            let mut c = vec![0; n];
+            c[i] = 1;
+            self.clocks.push(c);
+        }
+    }
+
+    pub fn actors(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The current epoch of `actor` (what its next access is stamped with).
+    pub fn epoch(&mut self, actor: usize) -> Epoch {
+        self.ensure(actor);
+        Epoch {
+            actor,
+            clk: self.clocks[actor][actor],
+        }
+    }
+
+    /// Release/acquire edge: everything `from` did so far happens-before
+    /// everything `to` does next. `from` then enters a new epoch, so its
+    /// *later* work stays unordered with `to`.
+    pub fn edge(&mut self, from: usize, to: usize) {
+        self.ensure(from.max(to));
+        let msg = self.clocks[from].clone();
+        for (d, s) in self.clocks[to].iter_mut().zip(msg.iter()) {
+            *d = (*d).max(*s);
+        }
+        self.clocks[from][from] += 1;
+    }
+
+    /// Does the access stamped `e` happen before the present of `actor`?
+    pub fn hb(&mut self, e: Epoch, actor: usize) -> bool {
+        if e.actor == actor {
+            return true; // program order
+        }
+        self.ensure(actor.max(e.actor));
+        e.clk <= self.clocks[actor][e.actor]
+    }
+}
+
+/// One remembered access to a location, with reporting breadcrumbs.
+#[derive(Debug, Clone)]
+pub struct AccessInfo {
+    pub epoch: Epoch,
+    pub write: bool,
+    pub kernel: Option<String>,
+    pub site: Option<Site>,
+}
+
+/// FastTrack-style per-location state: the last write plus the read set
+/// since that write.
+#[derive(Debug, Default, Clone)]
+pub struct LocState {
+    pub last_write: Option<AccessInfo>,
+    pub reads: Vec<AccessInfo>,
+}
+
+impl LocState {
+    /// Record an access and return the first conflicting prior access,
+    /// if any (the caller dedups and reports).
+    pub fn access(&mut self, vc: &mut VectorClocks, info: AccessInfo) -> Option<AccessInfo> {
+        let mut conflict = None;
+        if let Some(w) = &self.last_write {
+            if !vc.hb(w.epoch, info.epoch.actor) {
+                conflict = Some(w.clone());
+            }
+        }
+        if info.write {
+            if conflict.is_none() {
+                conflict = self
+                    .reads
+                    .iter()
+                    .find(|r| !vc.hb(r.epoch, info.epoch.actor))
+                    .cloned();
+            }
+            self.last_write = Some(info);
+            self.reads.clear();
+        } else {
+            match self
+                .reads
+                .iter_mut()
+                .find(|r| r.epoch.actor == info.epoch.actor)
+            {
+                Some(slot) => *slot = info,
+                None => self.reads.push(info),
+            }
+        }
+        conflict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(epoch: Epoch, write: bool) -> AccessInfo {
+        AccessInfo {
+            epoch,
+            write,
+            kernel: None,
+            site: None,
+        }
+    }
+
+    #[test]
+    fn launch_edge_orders_host_before_kernel() {
+        let mut vc = VectorClocks::new();
+        let mut loc = LocState::default();
+        // Host writes, then launches on stream 1 (actor 2).
+        let e0 = vc.epoch(HOST);
+        assert!(loc.access(&mut vc, acc(e0, true)).is_none());
+        vc.edge(HOST, 2);
+        let e1 = vc.epoch(2);
+        assert!(loc.access(&mut vc, acc(e1, true)).is_none(), "ordered");
+    }
+
+    #[test]
+    fn two_unordered_streams_race() {
+        let mut vc = VectorClocks::new();
+        let mut loc = LocState::default();
+        vc.edge(HOST, 1);
+        let e1 = vc.epoch(1);
+        assert!(loc.access(&mut vc, acc(e1, true)).is_none());
+        // Second launch acquires the host clock, which never learned of
+        // actor 1's write — unordered.
+        vc.edge(HOST, 2);
+        let e2 = vc.epoch(2);
+        assert!(loc.access(&mut vc, acc(e2, true)).is_some(), "racy");
+    }
+
+    #[test]
+    fn stream_sync_restores_order() {
+        let mut vc = VectorClocks::new();
+        let mut loc = LocState::default();
+        vc.edge(HOST, 1);
+        let e1 = vc.epoch(1);
+        assert!(loc.access(&mut vc, acc(e1, true)).is_none());
+        vc.edge(1, HOST); // cudaStreamSynchronize
+        vc.edge(HOST, 2);
+        let e2 = vc.epoch(2);
+        assert!(loc.access(&mut vc, acc(e2, true)).is_none(), "synced");
+    }
+
+    #[test]
+    fn host_read_races_with_async_write() {
+        let mut vc = VectorClocks::new();
+        let mut loc = LocState::default();
+        vc.edge(HOST, 1);
+        let e1 = vc.epoch(1);
+        assert!(loc.access(&mut vc, acc(e1, true)).is_none());
+        // Host reads before joining with the stream.
+        let eh = vc.epoch(HOST);
+        let c = loc.access(&mut vc, acc(eh, false));
+        assert!(c.is_some_and(|c| c.write));
+    }
+
+    #[test]
+    fn read_read_never_races() {
+        let mut vc = VectorClocks::new();
+        let mut loc = LocState::default();
+        vc.edge(HOST, 1);
+        let e1 = vc.epoch(1);
+        assert!(loc.access(&mut vc, acc(e1, false)).is_none());
+        let eh = vc.epoch(HOST);
+        assert!(loc.access(&mut vc, acc(eh, false)).is_none());
+    }
+}

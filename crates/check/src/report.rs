@@ -1,0 +1,316 @@
+//! Check findings: diagnostic records, the rendered table, and the
+//! `xplacer-check/1` JSON document.
+
+use std::fmt::Write as _;
+
+use xplacer_obs::Json;
+
+use crate::shadow::Site;
+
+/// JSON schema tag of the check report.
+pub const SCHEMA: &str = "xplacer-check/1";
+
+/// The defect classes the checker reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DefectClass {
+    OutOfBounds,
+    UseAfterFree,
+    DoubleFree,
+    BadFree,
+    UninitRead,
+    Leak,
+    BadCopyDirection,
+    Race,
+    /// Simulator faults outside the classes above (OOM, illegal access,
+    /// advise on unmanaged memory, ...).
+    Other,
+}
+
+impl DefectClass {
+    pub fn key(self) -> &'static str {
+        match self {
+            DefectClass::OutOfBounds => "out-of-bounds",
+            DefectClass::UseAfterFree => "use-after-free",
+            DefectClass::DoubleFree => "double-free",
+            DefectClass::BadFree => "bad-free",
+            DefectClass::UninitRead => "uninit-read",
+            DefectClass::Leak => "leak",
+            DefectClass::BadCopyDirection => "bad-memcpy-direction",
+            DefectClass::Race => "race",
+            DefectClass::Other => "other",
+        }
+    }
+}
+
+/// The allocation a diagnostic points at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocInfo {
+    pub name: String,
+    pub base: u64,
+    pub size: u64,
+    pub kind: &'static str,
+}
+
+/// One finding, with the breadcrumbs the tentpole demands: source span,
+/// kernel / launch-seq / stream context, and the allocation involved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub class: DefectClass,
+    pub message: String,
+    pub site: Option<Site>,
+    pub kernel: Option<String>,
+    pub launch_seq: Option<u64>,
+    pub stream: Option<usize>,
+    pub alloc: Option<AllocInfo>,
+    /// Whether this finding aborted the program (machine trap) — at most
+    /// one fatal diagnostic per run, and it is always the last.
+    pub fatal: bool,
+}
+
+impl Diagnostic {
+    fn site_str(&self) -> String {
+        match self.site {
+            Some((l, c)) => format!("{l}:{c}"),
+            None => "-".to_string(),
+        }
+    }
+
+    fn where_str(&self) -> String {
+        match (&self.kernel, self.launch_seq, self.stream) {
+            (Some(k), Some(seq), Some(s)) => format!("{k}#{seq}@s{s}"),
+            (Some(k), _, _) => k.clone(),
+            _ => "host".to_string(),
+        }
+    }
+
+    fn alloc_str(&self) -> String {
+        match &self.alloc {
+            Some(a) => format!("{} ({}, {} B)", a.name, a.kind, a.size),
+            None => "-".to_string(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut d = Json::obj();
+        d.set("class", Json::Str(self.class.key().to_string()));
+        d.set("message", Json::Str(self.message.clone()));
+        d.set(
+            "site",
+            match self.site {
+                Some((l, c)) => Json::Str(format!("{l}:{c}")),
+                None => Json::Null,
+            },
+        );
+        d.set(
+            "kernel",
+            match &self.kernel {
+                Some(k) => Json::Str(k.clone()),
+                None => Json::Null,
+            },
+        );
+        d.set(
+            "launch_seq",
+            match self.launch_seq {
+                Some(s) => Json::Num(s as f64),
+                None => Json::Null,
+            },
+        );
+        d.set(
+            "stream",
+            match self.stream {
+                Some(s) => Json::Num(s as f64),
+                None => Json::Null,
+            },
+        );
+        d.set(
+            "alloc",
+            match &self.alloc {
+                Some(a) => {
+                    let mut o = Json::obj();
+                    o.set("name", Json::Str(a.name.clone()));
+                    o.set("base", Json::Num(a.base as f64));
+                    o.set("size", Json::Num(a.size as f64));
+                    o.set("kind", Json::Str(a.kind.to_string()));
+                    o
+                }
+                None => Json::Null,
+            },
+        );
+        d.set("fatal", Json::Bool(self.fatal));
+        d
+    }
+}
+
+/// A full check result for one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReport {
+    pub target: String,
+    pub findings: Vec<Diagnostic>,
+    /// Findings dropped by `--max-errors`.
+    pub truncated: usize,
+}
+
+impl CheckReport {
+    pub fn new(target: &str) -> Self {
+        CheckReport {
+            target: target.to_string(),
+            findings: Vec::new(),
+            truncated: 0,
+        }
+    }
+
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.truncated == 0
+    }
+
+    /// Keep only the first `n` findings (`n == 0` keeps all).
+    pub fn truncate(&mut self, n: usize) {
+        if n > 0 && self.findings.len() > n {
+            self.truncated = self.findings.len() - n;
+            self.findings.truncate(n);
+        }
+    }
+
+    /// The `xplacer-check/1` document.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("schema", Json::Str(SCHEMA.to_string()));
+        o.set("target", Json::Str(self.target.clone()));
+        o.set("clean", Json::Bool(self.clean()));
+        o.set(
+            "findings",
+            Json::Arr(self.findings.iter().map(|d| d.to_json()).collect()),
+        );
+        o.set("truncated", Json::Num(self.truncated as f64));
+        o
+    }
+
+    /// The human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== xplacer check: {} ==", self.target);
+        if self.clean() {
+            let _ = writeln!(out, "clean: no memory or ordering defects detected");
+            return out;
+        }
+        let rows: Vec<[String; 5]> = self
+            .findings
+            .iter()
+            .map(|d| {
+                [
+                    d.class.key().to_string(),
+                    d.site_str(),
+                    d.where_str(),
+                    d.alloc_str(),
+                    d.message.clone(),
+                ]
+            })
+            .collect();
+        let head = ["CLASS", "SITE", "WHERE", "ALLOCATION", "MESSAGE"];
+        let mut w = [0usize; 4];
+        for i in 0..4 {
+            w[i] = head[i].len();
+            for r in &rows {
+                w[i] = w[i].max(r[i].len());
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<w0$}  {:<w1$}  {:<w2$}  {:<w3$}  {}",
+            head[0],
+            head[1],
+            head[2],
+            head[3],
+            head[4],
+            w0 = w[0],
+            w1 = w[1],
+            w2 = w[2],
+            w3 = w[3],
+        );
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "{:<w0$}  {:<w1$}  {:<w2$}  {:<w3$}  {}",
+                r[0],
+                r[1],
+                r[2],
+                r[3],
+                r[4],
+                w0 = w[0],
+                w1 = w[1],
+                w2 = w[2],
+                w3 = w[3],
+            );
+        }
+        let n = self.findings.len() + self.truncated;
+        let _ = writeln!(out, "{n} finding{}", if n == 1 { "" } else { "s" });
+        if self.truncated > 0 {
+            let _ = writeln!(out, "({} more suppressed by --max-errors)", self.truncated);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            class: DefectClass::OutOfBounds,
+            message: "write of 8 bytes past the end".into(),
+            site: Some((12, 5)),
+            kernel: Some("bump".into()),
+            launch_seq: Some(3),
+            stream: Some(0),
+            alloc: Some(AllocInfo {
+                name: "p".into(),
+                base: 0x10000,
+                size: 800,
+                kind: "managed",
+            }),
+            fatal: true,
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_and_serializes() {
+        let r = CheckReport::new("x.cu");
+        assert!(r.clean());
+        assert!(r.render().contains("clean"));
+        let j = r.to_json();
+        assert_eq!(j.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(j.get("clean").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn findings_appear_in_table_and_json() {
+        let mut r = CheckReport::new("x.cu");
+        r.findings.push(sample());
+        let t = r.render();
+        assert!(t.contains("out-of-bounds"));
+        assert!(t.contains("12:5"));
+        assert!(t.contains("bump#3@s0"));
+        assert!(t.contains("p (managed, 800 B)"));
+        let j = r.to_json();
+        assert_eq!(j.get("clean").unwrap().as_bool(), Some(false));
+        let Some(Json::Arr(f)) = j.get("findings") else {
+            panic!("findings not an array");
+        };
+        assert_eq!(f[0].get("class").unwrap().as_str(), Some("out-of-bounds"));
+        assert_eq!(f[0].get("site").unwrap().as_str(), Some("12:5"));
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let mut r = CheckReport::new("x.cu");
+        for _ in 0..5 {
+            r.findings.push(sample());
+        }
+        r.truncate(2);
+        assert_eq!(r.findings.len(), 2);
+        assert_eq!(r.truncated, 3);
+        assert!(!r.clean());
+        assert!(r.render().contains("suppressed by --max-errors"));
+    }
+}

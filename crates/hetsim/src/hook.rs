@@ -11,6 +11,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::clock::StreamId;
 use crate::event::TimedEvent;
 use crate::types::{AccessKind, Addr, AllocKind, CopyKind, Device};
 
@@ -74,6 +75,68 @@ pub trait MemHook {
     /// care about word accesses can ignore it. See [`crate::event::Event`].
     fn on_event(&mut self, ev: &TimedEvent) {
         let _ = ev;
+    }
+
+    /// A `cudaMemcpy` with ordering context: the stream it was issued on
+    /// and whether the host blocked for its completion. The machine calls
+    /// *this* entry point; the default forwards to the plain
+    /// [`on_memcpy`](Self::on_memcpy) so existing hooks are unaffected.
+    fn on_memcpy_ctx(
+        &mut self,
+        dst: Addr,
+        src: Addr,
+        bytes: u64,
+        kind: CopyKind,
+        stream: StreamId,
+        blocking: bool,
+    ) {
+        let _ = (stream, blocking);
+        self.on_memcpy(dst, src, bytes, kind);
+    }
+
+    /// A kernel launch with ordering context: the stream it runs on and
+    /// its global launch sequence number. Defaults to the plain
+    /// [`on_kernel_launch`](Self::on_kernel_launch).
+    fn on_kernel_launch_ctx(&mut self, name: &str, stream: StreamId, seq: u64) {
+        let _ = (stream, seq);
+        self.on_kernel_launch(name);
+    }
+
+    /// A kernel completed; `blocking` says whether the host waited for it
+    /// (a synchronous launch) or it retired asynchronously on its stream.
+    /// Defaults to the plain [`on_kernel_end`](Self::on_kernel_end).
+    fn on_kernel_end_ctx(&mut self, name: &str, stream: StreamId, blocking: bool) {
+        let _ = (stream, blocking);
+        self.on_kernel_end(name);
+    }
+
+    /// `cudaStreamSynchronize(stream)`: the host joined with everything
+    /// previously enqueued on `stream`.
+    fn on_stream_sync(&mut self, stream: StreamId) {
+        let _ = stream;
+    }
+
+    /// `cudaDeviceSynchronize()`: the host joined with every stream.
+    fn on_device_sync(&mut self) {}
+
+    /// A harness write that bypasses the simulated access path (`poke`) —
+    /// input setup, not program behavior. Validity checkers treat it as
+    /// initialization; placement tracers ignore it.
+    fn on_debug_write(&mut self, addr: Addr, bytes: u64) {
+        let _ = (addr, bytes);
+    }
+
+    /// The interpreter is about to execute the statement at `line:col`
+    /// (1-based MiniCU source position). Lets checkers attribute the next
+    /// accesses to a source location.
+    fn on_site(&mut self, line: u32, col: u32) {
+        let _ = (line, col);
+    }
+
+    /// A human-readable name (the declared variable) for the allocation
+    /// at `base`, reported right after its [`on_alloc`](Self::on_alloc).
+    fn on_alloc_label(&mut self, base: Addr, label: &str) {
+        let _ = (base, label);
     }
 }
 
@@ -172,6 +235,57 @@ impl MemHook for FanoutHook {
             h.borrow_mut().on_event(ev);
         }
     }
+    // The ctx variants forward as ctx calls so inner hooks that use the
+    // ordering context still receive it through a fanout.
+    fn on_memcpy_ctx(
+        &mut self,
+        dst: Addr,
+        src: Addr,
+        bytes: u64,
+        kind: CopyKind,
+        stream: StreamId,
+        blocking: bool,
+    ) {
+        for h in &self.hooks {
+            h.borrow_mut()
+                .on_memcpy_ctx(dst, src, bytes, kind, stream, blocking);
+        }
+    }
+    fn on_kernel_launch_ctx(&mut self, name: &str, stream: StreamId, seq: u64) {
+        for h in &self.hooks {
+            h.borrow_mut().on_kernel_launch_ctx(name, stream, seq);
+        }
+    }
+    fn on_kernel_end_ctx(&mut self, name: &str, stream: StreamId, blocking: bool) {
+        for h in &self.hooks {
+            h.borrow_mut().on_kernel_end_ctx(name, stream, blocking);
+        }
+    }
+    fn on_stream_sync(&mut self, stream: StreamId) {
+        for h in &self.hooks {
+            h.borrow_mut().on_stream_sync(stream);
+        }
+    }
+    fn on_device_sync(&mut self) {
+        for h in &self.hooks {
+            h.borrow_mut().on_device_sync();
+        }
+    }
+    fn on_debug_write(&mut self, addr: Addr, bytes: u64) {
+        for h in &self.hooks {
+            h.borrow_mut().on_debug_write(addr, bytes);
+        }
+    }
+    fn on_site(&mut self, line: u32, col: u32) {
+        for h in &self.hooks {
+            h.borrow_mut().on_site(line, col);
+        }
+    }
+    fn on_alloc_label(&mut self, base: Addr, label: &str) {
+        for h in &self.hooks {
+            h.borrow_mut().on_alloc_label(base, label);
+        }
+    }
 }
 
 /// Self-overhead accounting for one observer: how much *wall-clock* time
@@ -266,6 +380,38 @@ impl MemHook for MeteredHook {
     }
     fn on_event(&mut self, ev: &TimedEvent) {
         self.timed(|h| h.on_event(ev));
+    }
+    fn on_memcpy_ctx(
+        &mut self,
+        dst: Addr,
+        src: Addr,
+        bytes: u64,
+        kind: CopyKind,
+        stream: StreamId,
+        blocking: bool,
+    ) {
+        self.timed(|h| h.on_memcpy_ctx(dst, src, bytes, kind, stream, blocking));
+    }
+    fn on_kernel_launch_ctx(&mut self, name: &str, stream: StreamId, seq: u64) {
+        self.timed(|h| h.on_kernel_launch_ctx(name, stream, seq));
+    }
+    fn on_kernel_end_ctx(&mut self, name: &str, stream: StreamId, blocking: bool) {
+        self.timed(|h| h.on_kernel_end_ctx(name, stream, blocking));
+    }
+    fn on_stream_sync(&mut self, stream: StreamId) {
+        self.timed(|h| h.on_stream_sync(stream));
+    }
+    fn on_device_sync(&mut self) {
+        self.timed(|h| h.on_device_sync());
+    }
+    fn on_debug_write(&mut self, addr: Addr, bytes: u64) {
+        self.timed(|h| h.on_debug_write(addr, bytes));
+    }
+    fn on_site(&mut self, line: u32, col: u32) {
+        self.timed(|h| h.on_site(line, col));
+    }
+    fn on_alloc_label(&mut self, base: Addr, label: &str) {
+        self.timed(|h| h.on_alloc_label(base, label));
     }
 }
 

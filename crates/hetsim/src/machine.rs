@@ -369,7 +369,16 @@ impl Machine {
         let dur = self.copy_cost(bytes, kind);
         let start = self.clock.now();
         self.clock.advance(dur);
-        self.record_copy(dst, src, bytes, kind, DEFAULT_STREAM, start, start + dur);
+        self.record_copy(
+            dst,
+            src,
+            bytes,
+            kind,
+            DEFAULT_STREAM,
+            start,
+            start + dur,
+            true,
+        );
         Ok(())
     }
 
@@ -386,14 +395,15 @@ impl Machine {
         // Data effects are applied eagerly; only the time is deferred.
         self.mem.copy_bytes(dst, src, bytes)?;
         let dur = self.copy_cost(bytes, kind);
-        let end = if self.pf.async_pageable_copy_serializes && kind.crosses_interconnect() {
+        let staged = self.pf.async_pageable_copy_serializes && kind.crosses_interconnect();
+        let end = if staged {
             // Pageable-memory staging: the "async" copy blocks the host.
             self.clock.advance(dur);
             self.clock.now()
         } else {
             self.clock.enqueue(stream, dur)
         };
-        self.record_copy(dst, src, bytes, kind, stream, end - dur, end);
+        self.record_copy(dst, src, bytes, kind, stream, end - dur, end, staged);
         Ok(())
     }
 
@@ -458,6 +468,7 @@ impl Machine {
         stream: StreamId,
         start_ns: f64,
         end_ns: f64,
+        blocking: bool,
     ) {
         match kind {
             CopyKind::HostToDevice => self.stats.memcpy_h2d += 1,
@@ -466,7 +477,8 @@ impl Machine {
         }
         self.stats.memcpy_bytes += bytes;
         if let Some(h) = &self.hook {
-            h.borrow_mut().on_memcpy(dst, src, bytes, kind);
+            h.borrow_mut()
+                .on_memcpy_ctx(dst, src, bytes, kind, stream, blocking);
             // Charge the copy to the destination allocation (zero-byte
             // copies may not resolve to one).
             let alloc = self.mem.find(dst, 1).ok().map(|a| a.base);
@@ -995,7 +1007,11 @@ impl Machine {
     /// Byte-level [`poke`](Self::poke): write `src` to backing memory
     /// without costing, tracing, or paging.
     pub fn poke_bytes(&mut self, addr: Addr, src: &[u8]) -> SimResult<()> {
-        self.mem.write_bytes(addr, src)
+        self.mem.write_bytes(addr, src)?;
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_debug_write(addr, src.len() as u64);
+        }
+        Ok(())
     }
 
     /// Write backing bytes without costing, tracing, or paging.
@@ -1005,6 +1021,25 @@ impl Machine {
         self.mem
             .write_bytes(p.at(i), &buf[..T::SIZE])
             .expect("poke failed");
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_debug_write(p.at(i), T::SIZE as u64);
+        }
+    }
+
+    /// Tell the attached hook which source statement (1-based `line:col`)
+    /// the upcoming accesses belong to. Free when no hook is attached.
+    pub fn note_site(&mut self, line: u32, col: u32) {
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_site(line, col);
+        }
+    }
+
+    /// Tell the attached hook the variable name behind the allocation at
+    /// `base` (for human-readable diagnostics).
+    pub fn note_alloc_label(&mut self, base: Addr, label: &str) {
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_alloc_label(base, label);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1074,7 +1109,8 @@ impl Machine {
             serial_ns: 0.0,
         };
         if let Some(h) = &self.hook {
-            h.borrow_mut().on_kernel_launch(name);
+            h.borrow_mut()
+                .on_kernel_launch_ctx(name, stream, self.cur_seq);
             // Mode is already Kernel, so the begin marker carries the
             // kernel's own attribution context.
             self.emit(
@@ -1115,7 +1151,7 @@ impl Machine {
         let dur = self.kernel_finish();
         let start = self.clock.now();
         self.clock.advance(dur);
-        self.finish_hooks(ctx, start, start + dur);
+        self.finish_hooks(ctx, start, start + dur, true);
         dur
     }
 
@@ -1127,15 +1163,15 @@ impl Machine {
         ctx.stream = stream;
         let dur = self.kernel_finish();
         let end = self.clock.enqueue(stream, dur);
-        self.finish_hooks(ctx, end - dur, end);
+        self.finish_hooks(ctx, end - dur, end, false);
         dur
     }
 
-    fn finish_hooks(&mut self, ctx: AttrCtx, start_ns: f64, end_ns: f64) {
+    fn finish_hooks(&mut self, ctx: AttrCtx, start_ns: f64, end_ns: f64, blocking: bool) {
         if let Some(h) = &self.hook {
             let name = ctx.kernel_name().unwrap_or_default().to_string();
             let stream = ctx.stream;
-            h.borrow_mut().on_kernel_end(&name);
+            h.borrow_mut().on_kernel_end_ctx(&name, stream, blocking);
             // The span carries the kernel's own context so its total cost
             // folds under the kernel even though the machine is back in
             // host mode by now.
@@ -1189,11 +1225,17 @@ impl Machine {
     pub fn sync_stream(&mut self, s: StreamId) {
         self.clock.sync_stream(s);
         self.clock.advance(self.pf.stream_sync_ns);
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_stream_sync(s);
+        }
     }
 
     /// `cudaDeviceSynchronize`: drain all streams, then report total time.
     pub fn elapsed_ns(&mut self) -> f64 {
         self.clock.sync_all();
+        if let Some(h) = &self.hook {
+            h.borrow_mut().on_device_sync();
+        }
         self.clock.now()
     }
 

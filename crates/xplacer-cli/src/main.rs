@@ -9,6 +9,7 @@
 //! xplacer profile <workload|file.cu>      cost-attribution profile of a run
 //! xplacer top <workload|file.cu>          time-series telemetry dashboard
 //! xplacer top --replay <events.json>      replay a recorded event trace
+//! xplacer check <workload|file.cu>        memory sanitizer + race detector
 //! xplacer platforms                       list the simulated platforms
 //!
 //! options:
@@ -34,6 +35,10 @@
 //!   --ascii                               7-bit ASCII sparklines (deterministic)
 //!   --epoch-ns <ns>                       initial telemetry epoch width
 //!   --buckets <n>                         bucket cap before downsampling
+//!
+//! check options (exit 0 clean / 1 findings / 2 usage):
+//!   --max-errors <n>                      keep at most n findings in the report
+//!   --no-bulk                             force per-word checking (parity debug)
 //! ```
 
 use std::cell::RefCell;
@@ -73,10 +78,10 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: xplacer <instrument|run|analyze|advise|optimize|demo|profile|top|blame|diff|platforms> [args]\n\
+    "usage: xplacer <instrument|run|analyze|advise|optimize|check|demo|profile|top|blame|diff|platforms> [args]\n\
      try `xplacer demo lulesh`, `xplacer profile pathfinder`, `xplacer top lulesh`, \
      `xplacer blame lulesh`, `xplacer diff a.json b.json`, \
-     `xplacer optimize lulesh --jobs 4`, \
+     `xplacer optimize lulesh --jobs 4`, `xplacer check examples/mini/alternating.cu`, \
      or `xplacer analyze examples/mini/alternating.cu`"
         .to_string()
 }
@@ -98,6 +103,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "top" => ok(cmd_top(rest)),
         "blame" => ok(cmd_blame(rest)),
         "diff" => cmd_diff(rest),
+        "check" => cmd_check(rest),
         "platforms" => {
             for pf in platform::all_platforms() {
                 println!(
@@ -424,6 +430,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--beam",
     "--out",
     "--bench-out",
+    "--max-errors",
 ];
 
 fn read_file(args: &[String]) -> Result<(String, String), String> {
@@ -974,6 +981,49 @@ fn positionals(args: &[String]) -> Vec<String> {
 /// `profile --json` reports), aligned by kernel name / allocation label.
 /// Exits 0 on improved/neutral, 1 when the run regressed beyond
 /// `--threshold` (so it doubles as a CI gate), 2 on usage/IO errors.
+/// `xplacer check <workload|file.cu>`: memory sanitizer + cross-stream
+/// race detector. Exit 0 when clean, 1 on findings, 2 on usage errors.
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let ui = Ui::parse(args)?;
+    let max_errors = match flag_value(args, "--max-errors")? {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--max-errors expects a number, got `{v}`"))?,
+        None => 0,
+    };
+    let opts = xplacer_check::CheckOptions {
+        bulk: !args.iter().any(|a| a == "--no-bulk"),
+        max_errors,
+        platform: pick_platform(args)?,
+    };
+    let inputs = positionals(args);
+    let [target] = inputs.as_slice() else {
+        return Err(format!(
+            "check requires exactly one input: a workload name ({}) or a MiniCU file",
+            xplacer_workloads::driver::WORKLOAD_NAMES.join("|")
+        ));
+    };
+    let out = if xplacer_workloads::driver::WORKLOAD_NAMES.contains(&target.as_str()) {
+        ui.info(&format!("checking workload {target}"));
+        xplacer_check::check_workload(target, &opts)?
+    } else {
+        let src =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        ui.info(&format!("checking {target}"));
+        xplacer_check::check_source(target, &src, &opts)?
+    };
+    if ui.json {
+        println!("{}", out.report.to_json().to_string_pretty());
+    }
+    let _ = write!(ui.human(), "{}", out.report.render());
+    if out.report.clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        ui.info("verdict: defects found — exiting 1 for CI gating");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let ui = Ui::parse(args)?;
     let threshold = match flag_value(args, "--threshold")? {

@@ -1,0 +1,116 @@
+//! `xplacer check` through the real binary: exit-code contract
+//! (0 clean / 1 findings / 2 usage), stdout purity under
+//! `--log-level quiet`, and `--json` stream separation.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn xplacer() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xplacer"))
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn run(args: &[&str]) -> Output {
+    xplacer().args(args).output().expect("xplacer binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8(o.stdout.clone()).expect("stdout is UTF-8")
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    // The mini examples deliberately leak (demo style), so a minimal
+    // init-use-free program pins the clean path.
+    let dir = std::env::temp_dir().join("xplacer_check_cli");
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("clean.cu");
+    std::fs::write(
+        &f,
+        "int main() {\n\
+         \x20   int* a;\n\
+         \x20   cudaMallocManaged((void**)&a, 16 * sizeof(int));\n\
+         \x20   for (int i = 0; i < 16; i++) { a[i] = i; }\n\
+         \x20   printf(\"a0=%d\\n\", a[0]);\n\
+         \x20   cudaFree(a);\n\
+         \x20   return 0;\n\
+         }\n",
+    )
+    .unwrap();
+    let out = run(&["check", f.to_str().unwrap(), "--log-level", "quiet"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("clean"));
+}
+
+#[test]
+fn buggy_file_exits_one() {
+    let f = repo_path("tests/corpus/buggy/double_free.cu");
+    let out = run(&["check", f.to_str().unwrap(), "--log-level", "quiet"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("double-free"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // No input at all.
+    let out = run(&["check"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Unreadable input.
+    let out = run(&["check", "no_such_file.cu"]);
+    assert_eq!(out.status.code(), Some(2));
+    // A parse error is a usage-level failure, not a finding.
+    let dir = std::env::temp_dir().join("xplacer_check_cli");
+    std::fs::create_dir_all(&dir).unwrap();
+    let broken = dir.join("broken.cu");
+    std::fs::write(&broken, "int main( {").unwrap();
+    let out = run(&["check", broken.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn quiet_stdout_carries_exactly_the_report() {
+    // Under --log-level quiet, stdout is the rendered report and nothing
+    // else — repeat runs must be byte-identical (ci.sh cmp's this same
+    // stream against the committed goldens).
+    let f = repo_path("tests/corpus/buggy/leak.cu");
+    let a = run(&["check", f.to_str().unwrap(), "--log-level", "quiet"]);
+    let b = run(&["check", f.to_str().unwrap(), "--log-level", "quiet"]);
+    assert_eq!(a.stdout, b.stdout, "repeat runs differ");
+    let text = stdout(&a);
+    assert!(
+        text.starts_with("== xplacer check:"),
+        "chatter on stdout: {text}"
+    );
+    assert!(a.stderr.is_empty(), "quiet run wrote to stderr");
+}
+
+#[test]
+fn json_mode_emits_one_document_on_stdout() {
+    let f = repo_path("tests/corpus/buggy/uninit_read.cu");
+    let out = run(&[
+        "check",
+        f.to_str().unwrap(),
+        "--json",
+        "--log-level",
+        "quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    // One JSON object, parseable, carrying the schema tag; the human
+    // table moved to stderr.
+    assert!(text.trim_start().starts_with('{'), "stdout: {text}");
+    assert!(text.contains("\"schema\": \"xplacer-check/1\""));
+    assert!(!text.contains("== xplacer check:"));
+}
+
+#[test]
+fn workload_target_resolves_by_name() {
+    let out = run(&["check", "gaussian", "--log-level", "quiet"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("gaussian"));
+}

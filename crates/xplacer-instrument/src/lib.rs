@@ -158,9 +158,10 @@ impl Pass<'_> {
                     ty: d.ty.clone(),
                     name: d.name.clone(),
                     init,
+                    span: d.span,
                 })
             }
-            Stmt::Expr(e) => Stmt::Expr(self.expr(e, Ctx::Read, env)),
+            Stmt::Expr(e, sp) => Stmt::Expr(self.expr(e, Ctx::Read, env), *sp),
             Stmt::If {
                 cond,
                 then_branch,
@@ -216,7 +217,10 @@ impl Pass<'_> {
                 func,
                 verbatim,
                 expanded,
-            }) => Stmt::Expr(self.expand_diagnostic(func, verbatim, expanded, env)),
+            }) => Stmt::Expr(
+                self.expand_diagnostic(func, verbatim, expanded, env),
+                Span::default(),
+            ),
             other => other.clone(),
         }
     }
@@ -285,22 +289,35 @@ impl Pass<'_> {
                 name,
                 grid,
                 block,
+                shmem,
+                stream,
                 args,
             } => {
                 let grid = self.expr(grid, Ctx::Read, env);
                 let block = self.expr(block, Ctx::Read, env);
+                let shmem = shmem
+                    .as_ref()
+                    .map(|e| Box::new(self.expr(e, Ctx::Read, env)));
+                let stream = stream
+                    .as_ref()
+                    .map(|e| Box::new(self.expr(e, Ctx::Read, env)));
                 let args: Vec<Expr> = args.iter().map(|a| self.expr(a, Ctx::Read, env)).collect();
                 match self.kernel_wrapper {
-                    // traceKernelLaunch(grd, blk, kernel, args...)
-                    Some(w) => {
+                    // traceKernelLaunch(grd, blk, kernel, args...). The
+                    // wrapper's signature has no launch-config tail, so a
+                    // launch carrying shmem/stream keeps the launch form
+                    // (its operands are still instrumented).
+                    Some(w) if shmem.is_none() && stream.is_none() => {
                         let mut call_args = vec![grid, block, Expr::StrLit(name.clone())];
                         call_args.extend(args);
                         Expr::Call(w.to_string(), call_args)
                     }
-                    None => Expr::KernelLaunch {
+                    _ => Expr::KernelLaunch {
                         name: name.clone(),
                         grid: Box::new(grid),
                         block: Box::new(block),
+                        shmem,
+                        stream,
                         args,
                     },
                 }
@@ -548,7 +565,7 @@ mod tests {
         let inst = instrument(&prog);
         let f = inst.program.func("main").unwrap();
         let call = f.body.as_ref().unwrap().iter().find_map(|s| match s {
-            Stmt::Expr(e @ Expr::Call(name, _)) if name == "tracePrint" => Some(e),
+            Stmt::Expr(e @ Expr::Call(name, _), _) if name == "tracePrint" => Some(e),
             _ => None,
         });
         let text = unparse_expr(call.expect("diagnostic call inserted"));

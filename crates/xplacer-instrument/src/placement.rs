@@ -70,7 +70,7 @@ pub fn alloc_sites(prog: &Program) -> Vec<AllocSite> {
 fn scan_stmts(stmts: &[Stmt], conditional: bool, out: &mut Vec<AllocSite>) {
     for s in stmts {
         match s {
-            Stmt::Expr(e) => {
+            Stmt::Expr(e, _) => {
                 if let Some((var, kind)) = site_of_expr(e) {
                     out.push(AllocSite {
                         var,
@@ -258,7 +258,7 @@ impl Rewriter<'_> {
         // up; conditional sites were rejected up front, so the recursion
         // into branches below can reuse the same counter unconcerned.
         match s {
-            Stmt::Expr(e) => {
+            Stmt::Expr(e, _) => {
                 if let Some(launch_stmts) = self.rewrite_launch(e) {
                     out.extend(launch_stmts);
                     return;
@@ -332,25 +332,31 @@ impl Rewriter<'_> {
             match p.action {
                 PlanAction::Advise(a) => {
                     let (advice, dev) = advise_ints(a).expect("validated in apply_plan");
-                    out.push(Stmt::Expr(Expr::call(
-                        "cudaMemAdvise",
-                        vec![
-                            Expr::ident(var),
-                            Expr::IntLit(p.size as i64),
-                            Expr::IntLit(advice),
-                            Expr::IntLit(dev),
-                        ],
-                    )));
+                    out.push(Stmt::Expr(
+                        Expr::call(
+                            "cudaMemAdvise",
+                            vec![
+                                Expr::ident(var),
+                                Expr::IntLit(p.size as i64),
+                                Expr::IntLit(advice),
+                                Expr::IntLit(dev),
+                            ],
+                        ),
+                        Span::default(),
+                    ));
                 }
                 PlanAction::Prefetch(d) => {
-                    out.push(Stmt::Expr(Expr::call(
-                        "cudaMemPrefetchAsync",
-                        vec![
-                            Expr::ident(var),
-                            Expr::IntLit(p.size as i64),
-                            Expr::IntLit(device_int(d)),
-                        ],
-                    )));
+                    out.push(Stmt::Expr(
+                        Expr::call(
+                            "cudaMemPrefetchAsync",
+                            vec![
+                                Expr::ident(var),
+                                Expr::IntLit(p.size as i64),
+                                Expr::IntLit(device_int(d)),
+                            ],
+                        ),
+                        Span::default(),
+                    ));
                 }
                 PlanAction::Split => {
                     let twin = format!("{var}{SPLIT_SUFFIX}");
@@ -359,17 +365,21 @@ impl Rewriter<'_> {
                         ty: ty.clone(),
                         name: twin.clone(),
                         init: None,
+                        span: Span::default(),
                     }));
-                    out.push(Stmt::Expr(Expr::call(
-                        "cudaMalloc",
-                        vec![
-                            Expr::Cast(
-                                Type::Void.ptr().ptr(),
-                                Box::new(Expr::Unary(UnOp::Addr, Box::new(Expr::ident(&twin)))),
-                            ),
-                            Expr::IntLit(p.size as i64),
-                        ],
-                    )));
+                    out.push(Stmt::Expr(
+                        Expr::call(
+                            "cudaMalloc",
+                            vec![
+                                Expr::Cast(
+                                    Type::Void.ptr().ptr(),
+                                    Box::new(Expr::Unary(UnOp::Addr, Box::new(Expr::ident(&twin)))),
+                                ),
+                                Expr::IntLit(p.size as i64),
+                            ],
+                        ),
+                        Span::default(),
+                    ));
                 }
             }
         }
@@ -383,6 +393,8 @@ impl Rewriter<'_> {
             name,
             grid,
             block,
+            shmem,
+            stream,
             args,
         } = e
         else {
@@ -406,15 +418,18 @@ impl Rewriter<'_> {
         let mut stmts = Vec::new();
         // Stage the current managed contents into each twin (H2D)...
         for v in &used {
-            stmts.push(Stmt::Expr(Expr::call(
-                "cudaMemcpy",
-                vec![
-                    Expr::ident(&format!("{v}{SPLIT_SUFFIX}")),
-                    Expr::ident(v),
-                    Expr::IntLit(size_of(v) as i64),
-                    Expr::IntLit(1), // cudaMemcpyHostToDevice
-                ],
-            )));
+            stmts.push(Stmt::Expr(
+                Expr::call(
+                    "cudaMemcpy",
+                    vec![
+                        Expr::ident(&format!("{v}{SPLIT_SUFFIX}")),
+                        Expr::ident(v),
+                        Expr::IntLit(size_of(v) as i64),
+                        Expr::IntLit(1), // cudaMemcpyHostToDevice
+                    ],
+                ),
+                Span::default(),
+            ));
         }
         // ...launch against the twins...
         let new_args = args
@@ -426,24 +441,32 @@ impl Rewriter<'_> {
                 other => other.clone(),
             })
             .collect();
-        stmts.push(Stmt::Expr(Expr::KernelLaunch {
-            name: name.clone(),
-            grid: grid.clone(),
-            block: block.clone(),
-            args: new_args,
-        }));
+        stmts.push(Stmt::Expr(
+            Expr::KernelLaunch {
+                name: name.clone(),
+                grid: grid.clone(),
+                block: block.clone(),
+                shmem: shmem.clone(),
+                stream: stream.clone(),
+                args: new_args,
+            },
+            Span::default(),
+        ));
         // ...and write results back (D2H) so the managed original stays
         // authoritative for host code, diagnostics, and later launches.
         for v in &used {
-            stmts.push(Stmt::Expr(Expr::call(
-                "cudaMemcpy",
-                vec![
-                    Expr::ident(v),
-                    Expr::ident(&format!("{v}{SPLIT_SUFFIX}")),
-                    Expr::IntLit(size_of(v) as i64),
-                    Expr::IntLit(2), // cudaMemcpyDeviceToHost
-                ],
-            )));
+            stmts.push(Stmt::Expr(
+                Expr::call(
+                    "cudaMemcpy",
+                    vec![
+                        Expr::ident(v),
+                        Expr::ident(&format!("{v}{SPLIT_SUFFIX}")),
+                        Expr::IntLit(size_of(v) as i64),
+                        Expr::IntLit(2), // cudaMemcpyDeviceToHost
+                    ],
+                ),
+                Span::default(),
+            ));
         }
         Some(stmts)
     }

@@ -22,6 +22,10 @@ use xplacer_lang::sema::{field_offset, field_type, size_of, TypeEnv};
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunError {
     pub message: String,
+    /// The structured simulator fault behind this error, when the program
+    /// trapped in the machine (OOB, use-after-free, ...). Lets tools like
+    /// `xplacer check` classify the defect instead of parsing the message.
+    pub sim: Option<SimError>,
 }
 
 impl std::fmt::Display for RunError {
@@ -36,6 +40,7 @@ impl From<SimError> for RunError {
     fn from(e: SimError) -> Self {
         RunError {
             message: e.to_string(),
+            sim: Some(e),
         }
     }
 }
@@ -43,6 +48,7 @@ impl From<SimError> for RunError {
 fn err<T>(msg: impl Into<String>) -> Result<T, RunError> {
     Err(RunError {
         message: msg.into(),
+        sim: None,
     })
 }
 
@@ -336,13 +342,32 @@ impl Interp {
         Ok(result)
     }
 
+    /// Report a known statement position to the machine's hook so runtime
+    /// diagnostics can point into the source. Unknown (synthesized) spans
+    /// keep the previous site.
+    fn note_site(&mut self, sp: Span) {
+        if sp.is_known() {
+            self.machine.note_site(sp.line, sp.col);
+        }
+    }
+
     fn exec_stmt(&mut self, s: &Stmt) -> RResult<Flow> {
         self.tick()?;
         match s {
             Stmt::Decl(d) => {
+                self.note_site(d.span);
                 let v = match &d.init {
                     Some(e) => {
                         let v = self.eval(e)?;
+                        // `int* a = (int*)malloc(n)` names the allocation
+                        // "a" in runtime diagnostics, matching the label
+                        // cudaMalloc gets from its out-parameter.
+                        if let (true, Value::Ptr(pv)) = (init_is_allocator(e), &v) {
+                            let addr = ptr_addr(pv);
+                            if addr != 0 {
+                                self.machine.note_alloc_label(addr, &d.name);
+                            }
+                        }
                         coerce(v, &d.ty)
                     }
                     None => default_value(&d.ty),
@@ -350,7 +375,8 @@ impl Interp {
                 self.declare(&d.name, v);
                 Ok(Flow::Normal(Value::Void))
             }
-            Stmt::Expr(e) => {
+            Stmt::Expr(e, sp) => {
+                self.note_site(*sp);
                 let v = self.eval(e)?;
                 Ok(Flow::Normal(v))
             }
@@ -458,7 +484,7 @@ impl Interp {
                     None => return Ok(None),
                 }
             }
-            Some(Stmt::Expr(Expr::Assign(AssignOp::Set, lhs, rhs))) => {
+            Some(Stmt::Expr(Expr::Assign(AssignOp::Set, lhs, rhs), _)) => {
                 match (&**lhs, const_int(rhs)) {
                     (Expr::Ident(n), Some(v)) => (n.clone(), v, false),
                     _ => return Ok(None),
@@ -505,9 +531,10 @@ impl Interp {
             return Ok(None);
         }
         // Body: exactly one of the two sweep shapes.
-        let [Stmt::Expr(e)] = body else {
+        let [Stmt::Expr(e, body_span)] = body else {
             return Ok(None);
         };
+        let body_span = *body_span;
         // `p[i]`, optionally wrapped in a specific trace call.
         let indexed = |e: &Expr, wrapper: &str| -> Option<(String, bool)> {
             let (inner, traced) = match e {
@@ -607,6 +634,10 @@ impl Interp {
         match sweep {
             Sweep::Fill { traced, val, .. } => {
                 if count > 0 {
+                    // The range access belongs to the body statement —
+                    // the generic loop would note its span each
+                    // iteration, so checkers see the same site.
+                    self.note_site(body_span);
                     // An out-of-range or wrong-device range charges
                     // nothing; let the generic loop reproduce the exact
                     // partial effects and error.
@@ -633,6 +664,7 @@ impl Interp {
                     return Ok(None);
                 }
                 if count > 0 {
+                    self.note_site(body_span);
                     if self.machine.read_range(addr0, sz, count).is_err() {
                         return Ok(None);
                     }
@@ -766,15 +798,34 @@ impl Interp {
                 name,
                 grid,
                 block,
+                shmem,
+                stream,
                 args,
             } => {
                 let g = self.eval(grid)?.as_int()?;
                 let b = self.eval(block)?.as_int()?;
+                if let Some(sh) = shmem {
+                    // Dynamic shared memory has no cost model; evaluate
+                    // for effects and validity, then ignore.
+                    self.eval(sh)?.as_int()?;
+                }
+                // Stream 0 is the legacy default stream: synchronizing,
+                // exactly like a launch with no stream clause.
+                let st = match stream {
+                    Some(se) => match self.eval(se)?.as_int()? {
+                        0 => None,
+                        s if s > 0 && (s as usize) < self.machine.stream_count() => {
+                            Some(hetsim::StreamId(s as usize))
+                        }
+                        s => return err(format!("launch on unknown stream {s}")),
+                    },
+                    None => None,
+                };
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(self.eval(a)?);
                 }
-                self.launch_kernel(name, g, b, vals)?;
+                self.launch_kernel(name, g, b, st, vals)?;
                 Ok(Value::Void)
             }
         }
@@ -956,6 +1007,7 @@ impl Interp {
                         };
                         let off = field_offset(&self.prog, sname, f).ok_or_else(|| RunError {
                             message: format!("no field `{f}` in struct {sname}"),
+                            sim: None,
                         })?;
                         let fty = field_type(&self.prog, sname, f).unwrap().clone();
                         Ok(Place::Heap {
@@ -977,6 +1029,7 @@ impl Interp {
                     .first()
                     .ok_or_else(|| RunError {
                         message: format!("{name} requires an argument"),
+                        sim: None,
                     })?
                     .clone();
                 let place = self.eval_place(&inner)?;
@@ -1077,6 +1130,7 @@ impl Interp {
         name: &str,
         grid: i64,
         block: i64,
+        stream: Option<hetsim::StreamId>,
         args: Vec<Value>,
     ) -> RResult<()> {
         if self.kernel.is_some() {
@@ -1089,7 +1143,12 @@ impl Interp {
             return err(format!("`{name}` is not a __global__ function"));
         }
         let threads = (grid.max(1) * block.max(1)) as usize;
-        self.machine.kernel_begin(name);
+        // Data effects run eagerly either way; a stream launch only
+        // defers the *time* (and the ordering edges observers see).
+        match stream {
+            Some(s) => self.machine.kernel_begin_on(name, s),
+            None => self.machine.kernel_begin(name),
+        }
         for tid in 0..threads {
             self.kernel = Some(KState {
                 tid,
@@ -1104,7 +1163,14 @@ impl Interp {
             }
         }
         self.kernel = None;
-        self.machine.kernel_finish_sync();
+        match stream {
+            Some(s) => {
+                self.machine.kernel_finish_async(s);
+            }
+            None => {
+                self.machine.kernel_finish_sync();
+            }
+        }
         Ok(())
     }
 
@@ -1149,6 +1215,12 @@ impl Interp {
                 // Store through the out-parameter (a pointer-to-pointer).
                 let out = args.first().ok_or_else(|| missing(name, 2))?.clone();
                 let place = self.ptr_to_place(out)?;
+                if let Place::Local { name: var, .. } = &place {
+                    // The receiving variable names the allocation in
+                    // runtime diagnostics (`cudaMalloc(&p, n)` → "p").
+                    let var = var.clone();
+                    self.machine.note_alloc_label(base, &var);
+                }
                 self.store_out_pointer(place, base)?;
                 Value::Int(0)
             }
@@ -1251,6 +1323,29 @@ impl Interp {
                 let _ = self.machine.elapsed_ns();
                 Value::Int(0)
             }
+            // --- streams ---
+            "cudaStreamCreate" => {
+                // Out-param like cudaMalloc: `cudaStreamCreate(&s)` with
+                // `int s` — MiniCU spells stream handles as plain ints.
+                let out = args.first().ok_or_else(|| missing(name, 1))?.clone();
+                let s = self.machine.create_stream();
+                let place = self.ptr_to_place(out)?;
+                self.store(&place, Value::Int(s.0 as i64))?;
+                Value::Int(0)
+            }
+            "cudaStreamSynchronize" => {
+                let s = args.first().ok_or_else(|| missing(name, 1))?.as_int()?;
+                if s < 0 || s as usize >= self.machine.stream_count() {
+                    return err(format!("cudaStreamSynchronize of unknown stream {s}"));
+                }
+                self.machine.sync_stream(hetsim::StreamId(s as usize));
+                Value::Int(0)
+            }
+            "cudaStreamDestroy" => {
+                // Streams live for the whole run; destroy is a no-op.
+                args.first().ok_or_else(|| missing(name, 1))?.as_int()?;
+                Value::Int(0)
+            }
             // --- tracing API ---
             "traceKernelLaunch" => {
                 let grid = args.first().ok_or_else(|| missing(name, 3))?.as_int()?;
@@ -1261,7 +1356,7 @@ impl Interp {
                 use hetsim::MemHook;
                 let kname = kname.clone();
                 self.tracer.on_kernel_launch(&kname);
-                self.launch_kernel(&kname, grid, block, args[3..].to_vec())?;
+                self.launch_kernel(&kname, grid, block, None, args[3..].to_vec())?;
                 Value::Int(0)
             }
             "XplAllocData" => {
@@ -1494,6 +1589,21 @@ fn ptr_addr(p: &PtrVal) -> u64 {
     }
 }
 
+/// Whether a declaration initializer is (a cast of) a host allocator call,
+/// so the declared variable can label the fresh allocation.
+fn init_is_allocator(e: &Expr) -> bool {
+    match e {
+        Expr::Cast(_, inner) => init_is_allocator(inner),
+        Expr::Call(name, _) => {
+            matches!(
+                name.as_str(),
+                "malloc" | "trcHostMalloc" | "__new" | "__new_array"
+            )
+        }
+        _ => false,
+    }
+}
+
 fn ptr_of(v: &Value) -> RResult<Addr> {
     match v {
         Value::Ptr(PtrVal::Heap { addr, .. }) => Ok(*addr),
@@ -1505,6 +1615,7 @@ fn ptr_of(v: &Value) -> RResult<Addr> {
 fn missing(name: &str, n: usize) -> RunError {
     RunError {
         message: format!("`{name}` expects {n} arguments"),
+        sim: None,
     }
 }
 
@@ -1666,6 +1777,7 @@ pub fn run_source_on(
 ) -> RResult<(Outcome, Interp)> {
     let prog = xplacer_lang::parser::parse(src).map_err(|e| RunError {
         message: e.to_string(),
+        sim: None,
     })?;
     let prog = if instrumented {
         xplacer_instrument::instrument(&prog).program

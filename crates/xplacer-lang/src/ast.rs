@@ -58,6 +58,44 @@ impl fmt::Display for Type {
     }
 }
 
+/// A 1-based `line:col` source position attached to statements so
+/// runtime diagnostics (the `xplacer check` sanitizer) can point back
+/// into the MiniCU source.
+///
+/// Spans compare equal to *every* other span: structural AST equality
+/// (`parse(unparse(p)) == p`, instrumentation idempotency) must ignore
+/// positions, since synthesized nodes carry the unknown span `0:0`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// Whether this span points at real source (synthesized nodes don't).
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// CUDA function qualifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Qualifier {
@@ -171,11 +209,16 @@ pub enum Expr {
     /// `cond ? then : else`
     Cond(Box<Expr>, Box<Expr>, Box<Expr>),
     Call(String, Vec<Expr>),
-    /// `kernel<<<grid, block>>>(args)`
+    /// `kernel<<<grid, block[, shmem[, stream]]>>>(args)`
     KernelLaunch {
         name: String,
         grid: Box<Expr>,
         block: Box<Expr>,
+        /// Optional dynamic shared-memory size (third launch-config arg).
+        shmem: Option<Box<Expr>>,
+        /// Optional stream handle (fourth launch-config arg). A launch
+        /// with a stream completes asynchronously, like `cudaMemcpyAsync`.
+        stream: Option<Box<Expr>>,
         args: Vec<Expr>,
     },
     /// `base[index]`
@@ -203,6 +246,8 @@ pub struct VarDecl {
     pub ty: Type,
     pub name: String,
     pub init: Option<Expr>,
+    /// Source position of the declaration (equality-neutral).
+    pub span: Span,
 }
 
 /// XPlacer pragmas (paper Table I).
@@ -226,7 +271,9 @@ pub enum XplPragma {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     Decl(VarDecl),
-    Expr(Expr),
+    /// An expression statement, carrying its (equality-neutral) source
+    /// position for runtime diagnostics.
+    Expr(Expr, Span),
     If {
         cond: Expr,
         then_branch: Vec<Stmt>,

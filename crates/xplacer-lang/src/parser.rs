@@ -86,6 +86,12 @@ impl Parser {
         (t.line, t.col)
     }
 
+    /// [`pos`](Self::pos) as a [`Span`].
+    fn span(&self) -> Span {
+        let (line, col) = self.pos();
+        Span::new(line, col)
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos].kind.clone();
         if self.pos + 1 < self.toks.len() {
@@ -254,7 +260,12 @@ impl Parser {
                 None
             };
             self.expect(Tok::Semi)?;
-            Ok(Item::Global(VarDecl { ty, name, init }))
+            Ok(Item::Global(VarDecl {
+                ty,
+                name,
+                init,
+                span: Span::default(),
+            }))
         }
     }
 
@@ -324,15 +335,17 @@ impl Parser {
                     Ok(Stmt::Decl(d))
                 }
                 _ => {
+                    let sp = self.span();
                     let e = self.expr()?;
                     self.expect(Tok::Semi)?;
-                    Ok(Stmt::Expr(e))
+                    Ok(Stmt::Expr(e, sp))
                 }
             },
             _ => {
+                let sp = self.span();
                 let e = self.expr()?;
                 self.expect(Tok::Semi)?;
-                Ok(Stmt::Expr(e))
+                Ok(Stmt::Expr(e, sp))
             }
         }
     }
@@ -344,6 +357,7 @@ impl Parser {
     }
 
     fn var_decl(&mut self) -> PResult<VarDecl> {
+        let span = self.span();
         let ty = self.ty()?;
         let name = self.ident()?;
         let init = if self.eat(Tok::Assign) {
@@ -351,7 +365,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(VarDecl { ty, name, init })
+        Ok(VarDecl {
+            ty,
+            name,
+            init,
+            span,
+        })
     }
 
     fn if_stmt(&mut self) -> PResult<Stmt> {
@@ -404,9 +423,10 @@ impl Parser {
             self.expect(Tok::Semi)?;
             Some(Box::new(Stmt::Decl(d)))
         } else {
+            let sp = self.span();
             let e = self.expr()?;
             self.expect(Tok::Semi)?;
-            Some(Box::new(Stmt::Expr(e)))
+            Some(Box::new(Stmt::Expr(e, sp)))
         };
         let cond = if *self.peek() == Tok::Semi {
             None
@@ -635,6 +655,17 @@ impl Parser {
                     let grid = self.expr()?;
                     self.expect(Tok::Comma)?;
                     let block = self.expr()?;
+                    // Optional CUDA launch-config tail: `, shmem[, stream]`.
+                    let shmem = if self.eat(Tok::Comma) {
+                        Some(Box::new(self.expr()?))
+                    } else {
+                        None
+                    };
+                    let stream = if shmem.is_some() && self.eat(Tok::Comma) {
+                        Some(Box::new(self.expr()?))
+                    } else {
+                        None
+                    };
                     self.expect(Tok::LaunchClose)?;
                     self.expect(Tok::LParen)?;
                     let args = self.args()?;
@@ -642,6 +673,8 @@ impl Parser {
                         name,
                         grid: Box::new(grid),
                         block: Box::new(block),
+                        shmem,
+                        stream,
                         args,
                     })
                 } else if *self.peek() == Tok::LParen {
@@ -758,7 +791,7 @@ mod tests {
         assert!(matches!(&body[0], Stmt::Decl(d) if d.ty == Type::Double.ptr()));
         assert!(matches!(
             &body[2],
-            Stmt::Expr(Expr::KernelLaunch { name, args, .. }) if name == "init" && args.len() == 2
+            Stmt::Expr(Expr::KernelLaunch { name, args, .. }, _) if name == "init" && args.len() == 2
         ));
     }
 
@@ -778,7 +811,7 @@ mod tests {
         let body = main.body.as_ref().unwrap();
         assert!(matches!(
             &body[1],
-            Stmt::Expr(Expr::Assign(AssignOp::Set, lhs, _))
+            Stmt::Expr(Expr::Assign(AssignOp::Set, lhs, _), _)
                 if matches!(&**lhs, Expr::Index(b, _) if matches!(&**b, Expr::Member(_, f, true) if f == "first"))
         ));
     }

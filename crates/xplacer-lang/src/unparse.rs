@@ -105,7 +105,7 @@ fn unparse_stmt(out: &mut String, s: &Stmt, level: usize) {
             out.push_str(&unparse_var(v));
             out.push('\n');
         }
-        Stmt::Expr(e) => {
+        Stmt::Expr(e, _) => {
             indent(out, level);
             let _ = writeln!(out, "{};", unparse_expr(e));
         }
@@ -175,7 +175,7 @@ fn unparse_stmt(out: &mut String, s: &Stmt, level: usize) {
             indent(out, level);
             let init_s = match init.as_deref() {
                 Some(Stmt::Decl(v)) => unparse_var(v).trim_end_matches(';').to_string(),
-                Some(Stmt::Expr(e)) => unparse_expr(e),
+                Some(Stmt::Expr(e, _)) => unparse_expr(e),
                 _ => String::new(),
             };
             let cond_s = cond.as_ref().map(unparse_expr).unwrap_or_default();
@@ -242,15 +242,21 @@ pub fn unparse_expr(e: &Expr) -> String {
             name,
             grid,
             block,
+            shmem,
+            stream,
             args,
         } => {
             let a: Vec<String> = args.iter().map(unparse_expr).collect();
-            format!(
-                "{name}<<<{}, {}>>>({})",
-                unparse_expr(grid),
-                unparse_expr(block),
-                a.join(", ")
-            )
+            // The launch config prints exactly the arity it was parsed
+            // with, so unparsing stays a textual fixpoint.
+            let mut cfg = format!("{}, {}", unparse_expr(grid), unparse_expr(block));
+            if let Some(sh) = shmem {
+                let _ = write!(cfg, ", {}", unparse_expr(sh));
+            }
+            if let Some(st) = stream {
+                let _ = write!(cfg, ", {}", unparse_expr(st));
+            }
+            format!("{name}<<<{cfg}>>>({})", a.join(", "))
         }
         Expr::Index(b, i) => format!("{}[{}]", paren_if_needed(b), unparse_expr(i)),
         Expr::Member(b, f, arrow) => {

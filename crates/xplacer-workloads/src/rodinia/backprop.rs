@@ -64,6 +64,12 @@ impl Backprop {
         let output_hidden_cuda = m.alloc_device::<f32>(HID + 1);
         let input_hidden_cuda = m.alloc_device::<f32>((n + 1) * HID);
         let hidden_partial_sum = m.alloc_device::<f32>(cfg.blocks() * HID);
+        // The original kernel builds each partial sum in shared memory and
+        // stores it once; this port accumulates in place, so the buffer
+        // must start zeroed rather than rely on fresh pages reading as 0.
+        for i in 0..cfg.blocks() * HID {
+            m.poke(hidden_partial_sum, i, 0.0f32);
+        }
         Backprop {
             cfg,
             input_host,

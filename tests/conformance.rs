@@ -174,6 +174,44 @@ fn mutated_inputs_never_panic() {
     assert!(errored > 0, "no mutated input errored ({parsed_ok} parsed)");
 }
 
+/// The memory checker consumes the same hostile inputs: mutated programs
+/// may be rejected (parse/semantic errors) or produce findings, but
+/// `check_source` must never panic.
+#[test]
+fn checker_never_panics_on_mutated_inputs() {
+    let mut seeds: Vec<String> = mini_sources().into_iter().map(|(_, s)| s).collect();
+    for i in 0..4 {
+        let mut rng = TestRng::deterministic(&format!("xplacer-mutation-base-{i}"));
+        seeds.push(unparse(&ArbProgram.generate(&mut rng)));
+    }
+    let rounds = (conformance_cases() / 4).max(16);
+    let mut rng = TestRng::deterministic("xplacer-check-mutations");
+    let mut rejected = 0u32;
+    for round in 0..rounds {
+        let base = &seeds[(round % seeds.len() as u64) as usize];
+        let mutated = mutate::mutate_some(base, &mut rng);
+        let result = std::panic::catch_unwind(|| {
+            xplacer_check::check_source(
+                "mutant.cu",
+                &mutated,
+                &xplacer_check::CheckOptions::default(),
+            )
+        });
+        match result {
+            Err(_) => panic!("checker panicked on mutated input:\n---- input ----\n{mutated}"),
+            Ok(Err(e)) => {
+                rejected += 1;
+                assert!(
+                    !e.is_empty(),
+                    "checker rejected a mutant with an empty message:\n{mutated}"
+                );
+            }
+            Ok(Ok(_)) => {}
+        }
+    }
+    assert!(rejected > 0, "no mutated input was rejected by the checker");
+}
+
 /// Semantically invalid programs that *parse* must surface interpreter
 /// errors, not panics.
 #[test]

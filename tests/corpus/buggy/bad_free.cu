@@ -1,0 +1,11 @@
+// Defect: free of an interior pointer, not the allocation base.
+
+int main() {
+    int* a = (int*)malloc(32 * sizeof(int));
+    for (int i = 0; i < 32; i++) {
+        a[i] = i;
+    }
+    int* mid = a + 8;
+    free(mid);
+    return 0;
+}

@@ -1,0 +1,20 @@
+// Defect: a device-to-device copy declared cudaMemcpyHostToDevice —
+// the direction constant does not match the operands.
+
+int main() {
+    int n = 32;
+    int* dev_a;
+    int* dev_b;
+    cudaMalloc((void**)&dev_a, n * sizeof(int));
+    cudaMalloc((void**)&dev_b, n * sizeof(int));
+    int* h = (int*)malloc(n * sizeof(int));
+    for (int i = 0; i < n; i++) {
+        h[i] = i;
+    }
+    cudaMemcpy(dev_a, h, n * sizeof(int), cudaMemcpyHostToDevice);
+    cudaMemcpy(dev_b, dev_a, n * sizeof(int), cudaMemcpyHostToDevice);
+    free(h);
+    cudaFree(dev_a);
+    cudaFree(dev_b);
+    return 0;
+}

@@ -1,0 +1,10 @@
+// Defect: the same device allocation is freed on both sides of a
+// cleanup path.
+
+int main() {
+    int* buf;
+    cudaMalloc((void**)&buf, 64 * sizeof(int));
+    cudaFree(buf);
+    cudaFree(buf);
+    return 0;
+}

@@ -1,0 +1,19 @@
+// Defect: three allocations — host, device, managed — and only the
+// device buffer is ever freed.
+
+int main() {
+    int* host_buf = (int*)malloc(24 * sizeof(int));
+    int* dev_buf;
+    cudaMalloc((void**)&dev_buf, 48 * sizeof(int));
+    int* shared_buf;
+    cudaMallocManaged((void**)&shared_buf, 12 * sizeof(int));
+    for (int i = 0; i < 24; i++) {
+        host_buf[i] = i;
+    }
+    for (int i = 0; i < 12; i++) {
+        shared_buf[i] = host_buf[i] + 1;
+    }
+    printf("sum=%d\n", shared_buf[0] + host_buf[0]);
+    cudaFree(dev_buf);
+    return 0;
+}

@@ -1,0 +1,25 @@
+// Defect: out-of-bounds read inside a kernel. The guard is `i <= n`, so
+// thread 256 reads one element past the end of the 256-element buffer.
+
+__global__ void bump(int* a, int n) {
+    int i = threadIdx.x + blockIdx.x * blockDim.x;
+    if (i <= n) {
+        a[i] = a[i] + 1;
+    }
+}
+
+int main() {
+    int n = 256;
+    int* a;
+    cudaMalloc((void**)&a, n * sizeof(int));
+    int* init = (int*)malloc(n * sizeof(int));
+    for (int i = 0; i < n; i++) {
+        init[i] = i;
+    }
+    cudaMemcpy(a, init, n * sizeof(int), cudaMemcpyHostToDevice);
+    bump<<<3, 128>>>(a, n);
+    cudaDeviceSynchronize();
+    free(init);
+    cudaFree(a);
+    return 0;
+}

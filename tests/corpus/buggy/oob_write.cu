@@ -1,0 +1,12 @@
+// Defect: out-of-bounds host write one element past the end of a
+// malloc'd buffer. The fence-post loop bound is the classic `<=`.
+
+int main() {
+    int n = 25;
+    int* a = (int*)malloc(n * sizeof(int));
+    for (int i = 0; i <= n; i++) {
+        a[i] = i * 2;
+    }
+    free(a);
+    return 0;
+}

@@ -1,0 +1,28 @@
+// Defect: the host reads managed memory while an async kernel that
+// writes it is still in flight (CPU/GPU race); the stream is only
+// synchronized afterwards.
+
+__global__ void scale(int* a, int n) {
+    int i = threadIdx.x + blockIdx.x * blockDim.x;
+    if (i < n) {
+        a[i] = a[i] * 3;
+    }
+}
+
+int main() {
+    int n = 32;
+    int* data;
+    cudaMallocManaged((void**)&data, n * sizeof(int));
+    for (int i = 0; i < n; i++) {
+        data[i] = i + 1;
+    }
+    int s;
+    cudaStreamCreate(&s);
+    scale<<<1, 32, 0, s>>>(data, n);
+    int early = data[0];
+    cudaStreamSynchronize(s);
+    printf("early=%d\n", early);
+    cudaStreamDestroy(s);
+    cudaFree(data);
+    return 0;
+}

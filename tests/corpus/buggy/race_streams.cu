@@ -1,0 +1,37 @@
+// Defect: two kernels on different streams store into the same managed
+// buffer with no ordering between the launches (GPU/GPU write-write race).
+
+__global__ void fill_one(int* a, int n) {
+    int i = threadIdx.x + blockIdx.x * blockDim.x;
+    if (i < n) {
+        a[i] = 1;
+    }
+}
+
+__global__ void fill_two(int* a, int n) {
+    int i = threadIdx.x + blockIdx.x * blockDim.x;
+    if (i < n) {
+        a[i] = 2;
+    }
+}
+
+int main() {
+    int n = 64;
+    int* data;
+    cudaMallocManaged((void**)&data, n * sizeof(int));
+    for (int i = 0; i < n; i++) {
+        data[i] = 0;
+    }
+    int s1;
+    int s2;
+    cudaStreamCreate(&s1);
+    cudaStreamCreate(&s2);
+    fill_one<<<2, 32, 0, s1>>>(data, n);
+    fill_two<<<2, 32, 0, s2>>>(data, n);
+    cudaDeviceSynchronize();
+    printf("d0=%d\n", data[0]);
+    cudaStreamDestroy(s1);
+    cudaStreamDestroy(s2);
+    cudaFree(data);
+    return 0;
+}

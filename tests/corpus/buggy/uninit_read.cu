@@ -1,0 +1,11 @@
+// Defect: the checksum reads a malloc'd buffer that was never written.
+// Non-fatal: the program runs to completion and frees its heap.
+
+int main() {
+    int n = 16;
+    int* a = (int*)malloc(n * sizeof(int));
+    int acc = a[3];
+    printf("acc=%d\n", acc);
+    free(a);
+    return 0;
+}

@@ -1,0 +1,22 @@
+// Defect: the kernel reads its input buffer, but the host-to-device
+// copy that should fill `b` was forgotten.
+
+__global__ void combine(int* a, int* b, int n) {
+    int i = threadIdx.x + blockIdx.x * blockDim.x;
+    if (i < n) {
+        a[i] = b[i] * 2;
+    }
+}
+
+int main() {
+    int n = 64;
+    int* a;
+    int* b;
+    cudaMalloc((void**)&a, n * sizeof(int));
+    cudaMalloc((void**)&b, n * sizeof(int));
+    combine<<<2, 32>>>(a, b, n);
+    cudaDeviceSynchronize();
+    cudaFree(a);
+    cudaFree(b);
+    return 0;
+}

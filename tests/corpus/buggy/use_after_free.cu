@@ -1,0 +1,13 @@
+// Defect: read through a managed pointer after cudaFree.
+
+int main() {
+    int* data;
+    cudaMallocManaged((void**)&data, 40 * sizeof(int));
+    for (int i = 0; i < 40; i++) {
+        data[i] = i;
+    }
+    cudaFree(data);
+    int x = data[3];
+    printf("x=%d\n", x);
+    return 0;
+}
